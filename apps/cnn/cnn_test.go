@@ -1,0 +1,273 @@
+package cnn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"mpioffload/sim"
+)
+
+// numGrad estimates dLoss/dw by central differences.
+func numGrad(f func() float64, w *float64) float64 {
+	const h = 1e-6
+	old := *w
+	*w = old + h
+	lp := f()
+	*w = old - h
+	lm := f()
+	*w = old
+	return (lp - lm) / (2 * h)
+}
+
+// gradCheck verifies every parameter gradient of net against finite
+// differences on a fixed batch.
+func gradCheck(t *testing.T, net *Network, x *Tensor, labels []int, tol float64) {
+	t.Helper()
+	loss := func() float64 {
+		logits := net.Forward(x)
+		l, _ := net.loss.Loss(logits, labels)
+		return l
+	}
+	net.Step(x, labels)
+	for li, l := range net.Layers {
+		for pi, p := range l.Params() {
+			// Spot-check a spread of parameters (full check is O(P·N)).
+			step := len(p.W)/7 + 1
+			for i := 0; i < len(p.W); i += step {
+				got := p.dW[i]
+				want := numGrad(loss, &p.W[i])
+				if math.Abs(got-want) > tol*(1+math.Abs(want)) {
+					t.Fatalf("layer %d param %d[%d]: grad %g, numeric %g", li, pi, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func tinyNet(rng *rand.Rand) *Network {
+	return &Network{Layers: []Layer{
+		NewConv2D(rng, 1, 4, 3, 1, 1),
+		&ReLU{},
+		&MaxPool{K: 2},
+		NewFC(rng, 4*4*4, 3),
+	}}
+}
+
+func tinyBatch(rng *rand.Rand, n int) (*Tensor, []int) {
+	x := NewTensor(n, 1, 8, 8)
+	x.Randomize(rng, 1)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = rng.Intn(3)
+	}
+	return x, labels
+}
+
+func TestGradientsMatchFiniteDifferences(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net := tinyNet(rng)
+	x, labels := tinyBatch(rng, 2)
+	gradCheck(t, net, x, labels, 1e-4)
+}
+
+func TestConvStrideAndPadGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net := &Network{Layers: []Layer{
+		NewConv2D(rng, 2, 3, 3, 2, 0), // stride 2, no pad
+		NewFC(rng, 3*3*3, 2),
+	}}
+	x := NewTensor(2, 2, 7, 7)
+	x.Randomize(rng, 1)
+	gradCheck(t, net, x, []int{0, 1}, 1e-4)
+}
+
+func TestConvOutputShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := NewConv2D(rng, 3, 8, 5, 1, 2)
+	y := c.Forward(NewTensor(2, 3, 16, 16))
+	if y.N != 2 || y.C != 8 || y.H != 16 || y.W != 16 {
+		t.Fatalf("shape %s", y.Shape())
+	}
+}
+
+func TestMaxPoolForwardBackward(t *testing.T) {
+	p := &MaxPool{K: 2}
+	x := NewTensor(1, 1, 2, 2)
+	x.Data = []float64{1, 5, 3, 2}
+	y := p.Forward(x)
+	if y.Len() != 1 || y.Data[0] != 5 {
+		t.Fatalf("pool output %v", y.Data)
+	}
+	dy := NewTensor(1, 1, 1, 1)
+	dy.Data[0] = 7
+	dx := p.Backward(dy)
+	want := []float64{0, 7, 0, 0}
+	for i := range want {
+		if dx.Data[i] != want[i] {
+			t.Fatalf("pool grad %v", dx.Data)
+		}
+	}
+}
+
+func TestSoftmaxLossSane(t *testing.T) {
+	logits := NewTensor(1, 3, 1, 1)
+	logits.Data = []float64{10, 0, 0}
+	l, grad := SoftmaxLoss{}.Loss(logits, []int{0})
+	if l > 0.01 {
+		t.Fatalf("confident correct prediction should have near-zero loss, got %v", l)
+	}
+	sum := 0.0
+	for _, g := range grad.Data {
+		sum += g
+	}
+	if math.Abs(sum) > 1e-12 {
+		t.Fatalf("softmax gradient rows must sum to zero: %v", sum)
+	}
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	net := tinyNet(rng)
+	x, labels := tinyBatch(rng, 8)
+	first := net.Step(x, labels)
+	var last float64
+	for i := 0; i < 60; i++ {
+		last = net.Step(x, labels)
+		net.SGD(0.1)
+	}
+	if last > first/2 {
+		t.Fatalf("loss did not drop: %v -> %v", first, last)
+	}
+}
+
+// TestDataParallelMatchesSerial: gradients all-reduced across 2 ranks on
+// half-batches must equal serial gradients on the full batch, so
+// distributed training follows the same trajectory.
+func TestDataParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x, labels := tinyBatch(rng, 8)
+
+	serial := tinyNet(rand.New(rand.NewSource(42)))
+	serial.Step(x, labels)
+	var want [][]float64
+	for _, l := range serial.Layers {
+		for _, p := range l.Params() {
+			want = append(want, append([]float64(nil), p.dW...))
+		}
+	}
+
+	var got [][]float64
+	sim.Run(sim.Config{Ranks: 2, Approach: sim.Offload}, func(env *sim.Env) {
+		net := tinyNet(rand.New(rand.NewSource(42))) // same init
+		half := x.N / 2
+		shard := NewTensor(half, x.C, x.H, x.W)
+		per := x.Len() / x.N
+		copy(shard.Data, x.Data[env.Rank()*half*per:(env.Rank()+1)*half*per])
+		lbl := labels[env.Rank()*half : (env.Rank()+1)*half]
+		net.DistStep(env.World, shard, lbl)
+		if env.Rank() == 0 {
+			for _, l := range net.Layers {
+				for _, p := range l.Params() {
+					got = append(got, append([]float64(nil), p.dW...))
+				}
+			}
+		}
+		env.World.Barrier()
+	})
+
+	for i := range want {
+		for j := range want[i] {
+			// Distributed computes mean-of-shard-means; the serial loss is
+			// a mean over the full batch, and both shards are equal sized,
+			// so gradients must match to rounding.
+			if math.Abs(got[i][j]-want[i][j]) > 1e-9 {
+				t.Fatalf("grad buffer %d elem %d: dist %g serial %g", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestDistTrainingConvergesOnAllApproaches(t *testing.T) {
+	for _, a := range []sim.Approach{sim.Baseline, sim.CommSelf, sim.Offload} {
+		a := a
+		t.Run(a.String(), func(t *testing.T) {
+			var first, last float64
+			sim.Run(sim.Config{Ranks: 2, Approach: a}, func(env *sim.Env) {
+				rng := rand.New(rand.NewSource(6)) // same data both ranks
+				x, labels := tinyBatch(rng, 8)
+				net := tinyNet(rand.New(rand.NewSource(7)))
+				half := x.N / 2
+				per := x.Len() / x.N
+				shard := NewTensor(half, x.C, x.H, x.W)
+				copy(shard.Data, x.Data[env.Rank()*half*per:(env.Rank()+1)*half*per])
+				lbl := labels[env.Rank()*half : (env.Rank()+1)*half]
+				f := net.DistStep(env.World, shard, lbl)
+				var l float64
+				for i := 0; i < 30; i++ {
+					net.SGD(0.1)
+					l = net.DistStep(env.World, shard, lbl)
+				}
+				if env.Rank() == 0 {
+					first, last = f, l
+				}
+				env.World.Barrier()
+			})
+			if last > first/2 {
+				t.Fatalf("distributed training did not converge: %v -> %v", first, last)
+			}
+		})
+	}
+}
+
+// TestHybridWorkloadShape: parity at small scale, offload ≈2× baseline at
+// 64 nodes, offload ahead of comm-self (Fig 14).
+func TestHybridWorkloadShape(t *testing.T) {
+	cfg := VGGLike()
+	run := func(a sim.Approach, nodes int) float64 {
+		var per float64
+		sim.Run(sim.Config{Ranks: nodes * 2, Approach: a}, func(env *sim.Env) {
+			r := RunHybrid(env, cfg, 2, 3)
+			if env.Rank() == 0 {
+				per = r
+			}
+		})
+		return per
+	}
+	b4, o4 := run(sim.Baseline, 4), run(sim.Offload, 4)
+	if r := b4 / o4; r > 1.25 {
+		t.Errorf("4 nodes should be near parity, baseline/offload = %.2f", r)
+	}
+	b64, o64, c64 := run(sim.Baseline, 64), run(sim.Offload, 64), run(sim.CommSelf, 64)
+	if r := b64 / o64; r < 1.3 {
+		t.Errorf("64 nodes: baseline/offload = %.2f, want ≥ 1.3 (paper: 2×)", r)
+	}
+	// The paper reports offload 15% ahead of comm-self at 64 nodes; our
+	// model puts them near parity (see EXPERIMENTS.md) — assert offload is
+	// at least not meaningfully behind.
+	if o64 > 1.05*c64 {
+		t.Errorf("offload (%v) clearly behind comm-self (%v) at 64 nodes", o64, c64)
+	}
+}
+
+func TestImagesPerSec(t *testing.T) {
+	cfg := VGGLike()
+	if got := ImagesPerSec(cfg, 1e9); math.Abs(got-256) > 1e-9 {
+		t.Fatalf("ImagesPerSec = %v", got)
+	}
+}
+
+func ExampleNetwork() {
+	rng := rand.New(rand.NewSource(1))
+	net := &Network{Layers: []Layer{
+		NewConv2D(rng, 1, 2, 3, 1, 1),
+		&ReLU{},
+		NewFC(rng, 2*4*4, 2),
+	}}
+	x := NewTensor(1, 1, 4, 4)
+	x.Randomize(rng, 1)
+	logits := net.Forward(x)
+	fmt.Println(len(logits.Data))
+	// Output: 2
+}

@@ -1,0 +1,313 @@
+package cnn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Layer is one differentiable stage of a network.
+type Layer interface {
+	// Forward computes the layer output for input x.
+	Forward(x *Tensor) *Tensor
+	// Backward computes dL/dx given dL/dy, accumulating weight gradients
+	// internally. Forward must have been called first.
+	Backward(dy *Tensor) *Tensor
+	// Params returns the parameter and gradient buffers ([] if none).
+	Params() []ParamSet
+}
+
+// ParamSet pairs a parameter buffer with its gradient buffer.
+type ParamSet struct {
+	W  []float64
+	dW []float64
+}
+
+// Conv2D is a 2-D convolution with stride and zero padding.
+type Conv2D struct {
+	InC, OutC, K, Stride, Pad int
+	Weight                    *Tensor // OutC×InC×K×K
+	Bias                      []float64
+	dWeight                   *Tensor
+	dBias                     []float64
+	x                         *Tensor // saved input
+}
+
+// NewConv2D builds a convolution layer with small random weights.
+func NewConv2D(rng *rand.Rand, inC, outC, k, stride, pad int) *Conv2D {
+	c := &Conv2D{
+		InC: inC, OutC: outC, K: k, Stride: stride, Pad: pad,
+		Weight:  NewTensor(outC, inC, k, k),
+		dWeight: NewTensor(outC, inC, k, k),
+		Bias:    make([]float64, outC),
+		dBias:   make([]float64, outC),
+	}
+	c.Weight.Randomize(rng, 1/math.Sqrt(float64(inC*k*k)))
+	return c
+}
+
+func (c *Conv2D) outDim(in int) int { return (in+2*c.Pad-c.K)/c.Stride + 1 }
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *Tensor) *Tensor {
+	c.x = x
+	oh, ow := c.outDim(x.H), c.outDim(x.W)
+	y := NewTensor(x.N, c.OutC, oh, ow)
+	for n := 0; n < x.N; n++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			for i := 0; i < oh; i++ {
+				for j := 0; j < ow; j++ {
+					sum := c.Bias[oc]
+					for ic := 0; ic < c.InC; ic++ {
+						for ki := 0; ki < c.K; ki++ {
+							hi := i*c.Stride + ki - c.Pad
+							if hi < 0 || hi >= x.H {
+								continue
+							}
+							for kj := 0; kj < c.K; kj++ {
+								wj := j*c.Stride + kj - c.Pad
+								if wj < 0 || wj >= x.W {
+									continue
+								}
+								sum += x.At(n, ic, hi, wj) * c.Weight.At(oc, ic, ki, kj)
+							}
+						}
+					}
+					y.Set(n, oc, i, j, sum)
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(dy *Tensor) *Tensor {
+	x := c.x
+	dx := NewTensor(x.N, x.C, x.H, x.W)
+	for n := 0; n < x.N; n++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			for i := 0; i < dy.H; i++ {
+				for j := 0; j < dy.W; j++ {
+					g := dy.At(n, oc, i, j)
+					c.dBias[oc] += g
+					for ic := 0; ic < c.InC; ic++ {
+						for ki := 0; ki < c.K; ki++ {
+							hi := i*c.Stride + ki - c.Pad
+							if hi < 0 || hi >= x.H {
+								continue
+							}
+							for kj := 0; kj < c.K; kj++ {
+								wj := j*c.Stride + kj - c.Pad
+								if wj < 0 || wj >= x.W {
+									continue
+								}
+								c.dWeight.Data[c.dWeight.idx(oc, ic, ki, kj)] += g * x.At(n, ic, hi, wj)
+								dx.Data[dx.idx(n, ic, hi, wj)] += g * c.Weight.At(oc, ic, ki, kj)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []ParamSet {
+	return []ParamSet{
+		{W: c.Weight.Data, dW: c.dWeight.Data},
+		{W: c.Bias, dW: c.dBias},
+	}
+}
+
+// ReLU is the rectified-linear activation.
+type ReLU struct{ x *Tensor }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *Tensor) *Tensor {
+	r.x = x
+	y := x.Clone()
+	for i, v := range y.Data {
+		if v < 0 {
+			y.Data[i] = 0
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(dy *Tensor) *Tensor {
+	dx := dy.Clone()
+	for i := range dx.Data {
+		if r.x.Data[i] <= 0 {
+			dx.Data[i] = 0
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []ParamSet { return nil }
+
+// MaxPool is a 2-D max pooling layer with a square window and equal stride.
+type MaxPool struct {
+	K      int
+	x      *Tensor
+	argmax []int
+}
+
+// Forward implements Layer.
+func (p *MaxPool) Forward(x *Tensor) *Tensor {
+	p.x = x
+	oh, ow := x.H/p.K, x.W/p.K
+	y := NewTensor(x.N, x.C, oh, ow)
+	p.argmax = make([]int, y.Len())
+	oi := 0
+	for n := 0; n < x.N; n++ {
+		for c := 0; c < x.C; c++ {
+			for i := 0; i < oh; i++ {
+				for j := 0; j < ow; j++ {
+					best := math.Inf(-1)
+					bestIdx := 0
+					for ki := 0; ki < p.K; ki++ {
+						for kj := 0; kj < p.K; kj++ {
+							idx := x.idx(n, c, i*p.K+ki, j*p.K+kj)
+							if v := x.Data[idx]; v > best {
+								best, bestIdx = v, idx
+							}
+						}
+					}
+					y.Data[oi] = best
+					p.argmax[oi] = bestIdx
+					oi++
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (p *MaxPool) Backward(dy *Tensor) *Tensor {
+	dx := NewTensor(p.x.N, p.x.C, p.x.H, p.x.W)
+	for i, g := range dy.Data {
+		dx.Data[p.argmax[i]] += g
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (p *MaxPool) Params() []ParamSet { return nil }
+
+// FC is a fully-connected layer over flattened inputs.
+type FC struct {
+	In, Out int
+	Weight  []float64 // Out×In
+	Bias    []float64
+	dWeight []float64
+	dBias   []float64
+	x       *Tensor
+}
+
+// NewFC builds a dense layer with small random weights.
+func NewFC(rng *rand.Rand, in, out int) *FC {
+	f := &FC{
+		In: in, Out: out,
+		Weight: make([]float64, in*out), dWeight: make([]float64, in*out),
+		Bias: make([]float64, out), dBias: make([]float64, out),
+	}
+	scale := 1 / math.Sqrt(float64(in))
+	for i := range f.Weight {
+		f.Weight[i] = (rng.Float64()*2 - 1) * scale
+	}
+	return f
+}
+
+// Forward implements Layer. The input is flattened per sample.
+func (f *FC) Forward(x *Tensor) *Tensor {
+	f.x = x
+	per := x.Len() / x.N
+	if per != f.In {
+		panic("cnn: FC input size mismatch")
+	}
+	y := NewTensor(x.N, f.Out, 1, 1)
+	for n := 0; n < x.N; n++ {
+		xin := x.Data[n*per : (n+1)*per]
+		for o := 0; o < f.Out; o++ {
+			sum := f.Bias[o]
+			row := f.Weight[o*f.In : (o+1)*f.In]
+			for i, v := range xin {
+				sum += row[i] * v
+			}
+			y.Data[n*f.Out+o] = sum
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (f *FC) Backward(dy *Tensor) *Tensor {
+	x := f.x
+	per := f.In
+	dx := NewTensor(x.N, x.C, x.H, x.W)
+	for n := 0; n < x.N; n++ {
+		xin := x.Data[n*per : (n+1)*per]
+		dxn := dx.Data[n*per : (n+1)*per]
+		for o := 0; o < f.Out; o++ {
+			g := dy.Data[n*f.Out+o]
+			f.dBias[o] += g
+			row := f.Weight[o*f.In : (o+1)*f.In]
+			drow := f.dWeight[o*f.In : (o+1)*f.In]
+			for i := range xin {
+				drow[i] += g * xin[i]
+				dxn[i] += g * row[i]
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (f *FC) Params() []ParamSet {
+	return []ParamSet{
+		{W: f.Weight, dW: f.dWeight},
+		{W: f.Bias, dW: f.dBias},
+	}
+}
+
+// SoftmaxLoss computes softmax cross-entropy loss and its gradient.
+// It is not a Layer: it terminates the network.
+type SoftmaxLoss struct{}
+
+// Loss returns the mean cross-entropy over the batch and dL/dlogits.
+func (SoftmaxLoss) Loss(logits *Tensor, labels []int) (float64, *Tensor) {
+	n := logits.N
+	k := logits.Len() / n
+	dl := NewTensor(logits.N, logits.C, logits.H, logits.W)
+	total := 0.0
+	for s := 0; s < n; s++ {
+		row := logits.Data[s*k : (s+1)*k]
+		maxv := row[0]
+		for _, v := range row {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		sum := 0.0
+		for _, v := range row {
+			sum += math.Exp(v - maxv)
+		}
+		logZ := math.Log(sum) + maxv
+		total += logZ - row[labels[s]]
+		for j := 0; j < k; j++ {
+			p := math.Exp(row[j]-maxv) / sum
+			g := p
+			if j == labels[s] {
+				g -= 1
+			}
+			dl.Data[s*k+j] = g / float64(n)
+		}
+	}
+	return total / float64(n), dl
+}

@@ -1,0 +1,81 @@
+package cnn
+
+import (
+	"mpioffload/mpi"
+)
+
+// Network is a feed-forward stack of layers with a softmax loss.
+type Network struct {
+	Layers []Layer
+	loss   SoftmaxLoss
+}
+
+// Forward runs the stack and returns the logits.
+func (n *Network) Forward(x *Tensor) *Tensor {
+	for _, l := range n.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// ZeroGrads clears every parameter gradient.
+func (n *Network) ZeroGrads() {
+	for _, l := range n.Layers {
+		for _, p := range l.Params() {
+			for i := range p.dW {
+				p.dW[i] = 0
+			}
+		}
+	}
+}
+
+// Step computes loss and gradients for one minibatch (forward + backward).
+func (n *Network) Step(x *Tensor, labels []int) float64 {
+	n.ZeroGrads()
+	logits := n.Forward(x)
+	loss, dl := n.loss.Loss(logits, labels)
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		dl = n.Layers[i].Backward(dl)
+	}
+	return loss
+}
+
+// SGD applies a plain gradient-descent update.
+func (n *Network) SGD(lr float64) {
+	for _, l := range n.Layers {
+		for _, p := range l.Params() {
+			for i := range p.W {
+				p.W[i] -= lr * p.dW[i]
+			}
+		}
+	}
+}
+
+// DistStep is the data-parallel training step (conv-stack style): each
+// rank computes gradients on its shard of the minibatch, then the weight
+// gradients are all-reduced so every rank applies the same update — with
+// the all-reduces issued nonblocking per layer, back to front, so they
+// overlap the remaining back-propagation (the Fig 14 overlap pattern).
+//
+// For simplicity the backward pass here is monolithic (Step), so the
+// overlap is between the per-layer all-reduces themselves; the workload
+// model in workload.go exercises the full pipelined structure at scale.
+func (n *Network) DistStep(c *mpi.Comm, x *Tensor, labels []int) float64 {
+	loss := n.Step(x, labels)
+	scale := 1.0 / float64(c.Size())
+	var reqs []*mpi.Request
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		for _, p := range n.Layers[i].Params() {
+			for j := range p.dW {
+				p.dW[j] *= scale
+			}
+			r := c.Iallreduce(mpi.Float64Bytes(p.dW), mpi.SumFloat64)
+			reqs = append(reqs, &r)
+		}
+	}
+	c.Waitall(reqs...)
+	// Average the loss as well so ranks can report a global value.
+	v := []float64{loss * scale}
+	c.Allreduce(mpi.Float64Bytes(v), mpi.SumFloat64)
+	return v[0]
+}

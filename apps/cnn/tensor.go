@@ -1,0 +1,72 @@
+// Package cnn implements the paper's third application (§5.3): deep
+// convolutional neural network training.
+//
+// Two layers:
+//
+//   - Real layers (convolution, ReLU, max-pool, fully-connected, softmax
+//     cross-entropy) with forward and backward passes, gradient-checked
+//     against finite differences, plus a data-parallel distributed trainer
+//     whose weight-gradient all-reduces overlap with back-propagation.
+//
+//   - A workload model of hybrid-parallel training (data parallelism for
+//     the convolutional stack, model parallelism for the fully-connected
+//     stack, as in Krizhevsky's "one weird trick") that reproduces Fig 14.
+package cnn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Tensor is a dense 4-D array in NCHW order (any trailing dims may be 1).
+type Tensor struct {
+	N, C, H, W int
+	Data       []float64
+}
+
+// NewTensor allocates a zero tensor.
+func NewTensor(n, c, h, w int) *Tensor {
+	return &Tensor{N: n, C: c, H: h, W: w, Data: make([]float64, n*c*h*w)}
+}
+
+// Len returns the element count.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// At returns the element at (n,c,h,w).
+func (t *Tensor) At(n, c, h, w int) float64 { return t.Data[t.idx(n, c, h, w)] }
+
+// Set stores v at (n,c,h,w).
+func (t *Tensor) Set(n, c, h, w int, v float64) { t.Data[t.idx(n, c, h, w)] = v }
+
+func (t *Tensor) idx(n, c, h, w int) int {
+	return ((n*t.C+c)*t.H+h)*t.W + w
+}
+
+// ShapeEq reports whether two tensors have identical shapes.
+func (t *Tensor) ShapeEq(o *Tensor) bool {
+	return t.N == o.N && t.C == o.C && t.H == o.H && t.W == o.W
+}
+
+// Shape renders the tensor shape for diagnostics.
+func (t *Tensor) Shape() string { return fmt.Sprintf("(%d,%d,%d,%d)", t.N, t.C, t.H, t.W) }
+
+// Randomize fills the tensor with scaled uniform noise.
+func (t *Tensor) Randomize(rng *rand.Rand, scale float64) {
+	for i := range t.Data {
+		t.Data[i] = (rng.Float64()*2 - 1) * scale
+	}
+}
+
+// Zero clears the tensor.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := NewTensor(t.N, t.C, t.H, t.W)
+	copy(c.Data, t.Data)
+	return c
+}

@@ -1,0 +1,105 @@
+package fft
+
+import (
+	"math"
+
+	"mpioffload/mpi"
+)
+
+// Dist computes the distributed 1-D FFT of a length-N sequence stored
+// block-cyclically by rank: rank r holds elements r*N/P .. (r+1)*N/P-1 of
+// the input in `local`, and on return holds the same index range of the
+// output. It uses the Cooley-Tukey transpose factorization N = N1×N2 with
+// the paper's three all-to-all exchanges (§5.2).
+//
+// Requirements: N = len(local)*P is a power of two, and P² divides N.
+func Dist(c *mpi.Comm, local []complex128) {
+	p := c.Size()
+	m := len(local)
+	n := m * p
+	if n&(n-1) != 0 {
+		panic("fft: global length is not a power of two")
+	}
+	// Factor N = N1 × N2 with P | N1 and P | N2, as square as possible.
+	n1 := 1 << (uint(log2(n)) / 2)
+	n2 := n / n1
+	if n1%p != 0 || n2%p != 0 {
+		panic("fft: P² must divide N")
+	}
+
+	// The input is the row-major N1×N2 matrix x[n1][n2]; rank r holds rows
+	// n1 ∈ [r*N1/P, (r+1)*N1/P).
+	//
+	// Step 1: all-to-all transpose → A[n2][n1] (N2/P rows of length N1).
+	a := transpose(c, local, n1, n2)
+	rows2 := n2 / p
+	// Step 2: length-N1 FFT along n1 for each local n2 row.
+	for r := 0; r < rows2; r++ {
+		FFT(a[r*n1 : (r+1)*n1])
+	}
+	c.Compute(float64(rows2) * Flops(n1))
+	// Step 3: twiddle A[n2][k1] *= W_N^(n2·k1).
+	base := c.Rank() * rows2
+	for r := 0; r < rows2; r++ {
+		gn2 := base + r
+		for k1 := 0; k1 < n1; k1++ {
+			ang := -2 * math.Pi * float64(gn2) * float64(k1) / float64(n)
+			a[r*n1+k1] *= complex(math.Cos(ang), math.Sin(ang))
+		}
+	}
+	c.Compute(6 * float64(rows2) * float64(n1))
+	// Step 4: transpose back → B[k1][n2] (N1/P rows of length N2).
+	b := transpose(c, a, n2, n1)
+	rows1 := n1 / p
+	// Step 5: length-N2 FFT along n2.
+	for r := 0; r < rows1; r++ {
+		FFT(b[r*n2 : (r+1)*n2])
+	}
+	c.Compute(float64(rows1) * Flops(n2))
+	// B[k1][k2] = X[k1 + N1·k2]; natural order is row-major over (k2,k1),
+	// i.e. the transpose of B.
+	// Step 6: final transpose → X[k2][k1] = contiguous output blocks.
+	out := transpose(c, b, n1, n2)
+	copy(local, out)
+}
+
+// transpose redistributes the row-major R×C matrix (R/P rows per rank)
+// into its C×R transpose (C/P rows per rank) with one all-to-all.
+func transpose(c *mpi.Comm, local []complex128, r, cc int) []complex128 {
+	p := c.Size()
+	rloc := r / p  // local rows before
+	cloc := cc / p // local rows after
+	// Pack: the block for destination rank s is the local rows restricted
+	// to its column range, stored transposed (column-major) so the
+	// receiver can place them contiguously.
+	send := make([]complex128, rloc*cc)
+	bs := rloc * cloc // elements per destination block
+	for s := 0; s < p; s++ {
+		o := s * bs
+		for col := 0; col < cloc; col++ {
+			for row := 0; row < rloc; row++ {
+				send[o+col*rloc+row] = local[row*cc+s*cloc+col]
+			}
+		}
+	}
+	recv := make([]complex128, cloc*r)
+	c.Alltoall(mpi.Complex128Bytes(send), mpi.Complex128Bytes(recv), bs*16)
+	// Unpack: from rank q we received our cloc rows' elements for columns
+	// q*rloc..(q+1)*rloc, already column-major within the block.
+	out := make([]complex128, cloc*r)
+	for q := 0; q < p; q++ {
+		o := q * bs
+		for col := 0; col < cloc; col++ {
+			copy(out[col*r+q*rloc:col*r+(q+1)*rloc], recv[o+col*rloc:o+(col+1)*rloc])
+		}
+	}
+	return out
+}
+
+func log2(n int) int {
+	k := 0
+	for 1<<uint(k) < n {
+		k++
+	}
+	return k
+}

@@ -1,0 +1,87 @@
+// Package fft implements the paper's second application (§5.2):
+// distributed 1-D FFT.
+//
+// Three layers:
+//
+//   - A serial radix-2 complex FFT (reference-tested against the naive
+//     DFT).
+//   - A real-data distributed 1-D FFT using the classic Cooley-Tukey
+//     transpose (six-step) factorization with the paper's three all-to-all
+//     exchanges, correctness-tested against the serial transform.
+//   - A workload model of the low-communication SOI FFT [Tang et al.,
+//     SC'12] that the paper actually runs: a single all-to-all, the input
+//     partitioned into segments whose computation and communication are
+//     pipelined — the structure that benefits from asynchronous progress
+//     (Table 2, Fig 13).
+package fft
+
+import (
+	"math"
+	"math/bits"
+)
+
+// FFT computes the in-place forward DFT of x (len must be a power of two).
+func FFT(x []complex128) { transform(x, -1) }
+
+// IFFT computes the in-place inverse DFT of x, including the 1/N scale.
+func IFFT(x []complex128) {
+	transform(x, +1)
+	inv := complex(1/float64(len(x)), 0)
+	for i := range x {
+		x[i] *= inv
+	}
+}
+
+func transform(x []complex128, sign float64) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	if n&(n-1) != 0 {
+		panic("fft: length is not a power of two")
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Iterative Cooley-Tukey butterflies.
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		ang := sign * 2 * math.Pi / float64(size)
+		wstep := complex(math.Cos(ang), math.Sin(ang))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wstep
+			}
+		}
+	}
+}
+
+// DFT computes the naive O(N²) forward transform (test reference).
+func DFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(k) * float64(j) / float64(n)
+			sum += x[j] * complex(math.Cos(ang), math.Sin(ang))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// Flops is the standard operation count of a length-n complex FFT.
+func Flops(n int) float64 {
+	return 5 * float64(n) * math.Log2(float64(n))
+}

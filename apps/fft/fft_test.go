@@ -1,0 +1,266 @@
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mpioffload/sim"
+)
+
+func randVec(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]complex128, n)
+	for i := range v {
+		v[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	return v
+}
+
+func maxErr(a, b []complex128) float64 {
+	m := 0.0
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestFFTMatchesDFT(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 64, 256} {
+		x := randVec(n, int64(n))
+		want := DFT(x)
+		got := append([]complex128(nil), x...)
+		FFT(got)
+		if e := maxErr(got, want); e > 1e-9*float64(n) {
+			t.Fatalf("n=%d: max error %g", n, e)
+		}
+	}
+}
+
+func TestFFTInverseRoundTrip(t *testing.T) {
+	x := randVec(1024, 7)
+	y := append([]complex128(nil), x...)
+	FFT(y)
+	IFFT(y)
+	if e := maxErr(x, y); e > 1e-10 {
+		t.Fatalf("round trip error %g", e)
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// FFT of a unit impulse is all ones.
+	x := make([]complex128, 64)
+	x[0] = 1
+	FFT(x)
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("impulse bin %d = %v", i, v)
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	// Σ|x|² = (1/N) Σ|X|².
+	f := func(seed int64) bool {
+		x := randVec(256, seed)
+		var tx float64
+		for _, v := range x {
+			tx += real(v)*real(v) + imag(v)*imag(v)
+		}
+		FFT(x)
+		var tX float64
+		for _, v := range x {
+			tX += real(v)*real(v) + imag(v)*imag(v)
+		}
+		return math.Abs(tx-tX/256) < 1e-8*tx
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFTLinearity(t *testing.T) {
+	f := func(seed int64) bool {
+		a := randVec(128, seed)
+		b := randVec(128, seed+1)
+		sum := make([]complex128, 128)
+		for i := range sum {
+			sum[i] = 2*a[i] + 3i*b[i]
+		}
+		FFT(a)
+		FFT(b)
+		FFT(sum)
+		for i := range sum {
+			if cmplx.Abs(sum[i]-(2*a[i]+3i*b[i])) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFTNonPowerOfTwoPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FFT(make([]complex128, 12))
+}
+
+// TestDistMatchesSerial: the three-all-to-all distributed FFT must agree
+// with the serial transform for several rank counts and approaches.
+func TestDistMatchesSerial(t *testing.T) {
+	const n = 1 << 12
+	x := randVec(n, 99)
+	want := append([]complex128(nil), x...)
+	FFT(want)
+	for _, tc := range []struct {
+		ranks    int
+		approach sim.Approach
+	}{
+		{2, sim.Baseline},
+		{4, sim.Baseline},
+		{8, sim.Baseline},
+		{4, sim.CommSelf},
+		{4, sim.Offload},
+		{4, sim.Iprobe},
+	} {
+		tc := tc
+		t.Run(fmt.Sprintf("ranks=%d/%s", tc.ranks, tc.approach), func(t *testing.T) {
+			got := make([]complex128, n)
+			sim.Run(sim.Config{Ranks: tc.ranks, Approach: tc.approach}, func(env *sim.Env) {
+				m := n / env.Size()
+				local := make([]complex128, m)
+				copy(local, x[env.Rank()*m:(env.Rank()+1)*m])
+				Dist(env.World, local)
+				copy(got[env.Rank()*m:(env.Rank()+1)*m], local)
+				env.World.Barrier()
+			})
+			if e := maxErr(got, want); e > 1e-7 {
+				t.Fatalf("max error %g", e)
+			}
+		})
+	}
+}
+
+func TestDistSingleRank(t *testing.T) {
+	const n = 256
+	x := randVec(n, 3)
+	want := append([]complex128(nil), x...)
+	FFT(want)
+	sim.Run(sim.Config{Ranks: 1, Approach: sim.Baseline}, func(env *sim.Env) {
+		local := append([]complex128(nil), x...)
+		Dist(env.World, local)
+		if e := maxErr(local, want); e > 1e-8 {
+			t.Errorf("single-rank dist error %g", e)
+		}
+	})
+}
+
+// TestPipelinedWorkloadShapes: the offload approach must cut both the post
+// time and the wait time of the pipelined FFT relative to baseline
+// (Table 2's headline).
+func TestPipelinedWorkloadShapes(t *testing.T) {
+	get := func(a sim.Approach) Split {
+		var sp Split
+		sim.Run(sim.Config{Ranks: 8, Approach: a}, func(env *sim.Env) {
+			r := RunPipelined(env, 1<<20, 4, 1, 2)
+			if env.Rank() == 0 {
+				sp = r
+			}
+		})
+		return sp
+	}
+	b := get(sim.Baseline)
+	o := get(sim.Offload)
+	if o.Post >= b.Post {
+		t.Errorf("offload post %v >= baseline %v", o.Post, b.Post)
+	}
+	if o.Wait >= b.Wait {
+		t.Errorf("offload wait %v >= baseline %v", o.Wait, b.Wait)
+	}
+	if o.Total >= b.Total {
+		t.Errorf("offload total %v >= baseline %v", o.Total, b.Total)
+	}
+	if b.Internal <= 0 || b.Misc <= 0 {
+		t.Errorf("degenerate split %+v", b)
+	}
+}
+
+func TestGflops(t *testing.T) {
+	// 2^20 points in 1 ms: 5·2^20·20 flops / 1e6 ns ≈ 104.9 GF/s.
+	g := Gflops(1<<20, 1e6)
+	if math.Abs(g-104.86) > 0.5 {
+		t.Fatalf("Gflops = %v", g)
+	}
+}
+
+// TestDistPipelinedMatchesSerial: the segmented, pipelined variant must
+// produce the identical transform.
+func TestDistPipelinedMatchesSerial(t *testing.T) {
+	const n = 1 << 12
+	x := randVec(n, 55)
+	want := append([]complex128(nil), x...)
+	FFT(want)
+	for _, tc := range []struct {
+		ranks, segments int
+		approach        sim.Approach
+	}{
+		{2, 2, sim.Baseline},
+		{4, 2, sim.Baseline},
+		{4, 4, sim.Offload},
+		{8, 2, sim.Offload},
+		{4, 1, sim.CommSelf},
+	} {
+		tc := tc
+		t.Run(fmt.Sprintf("ranks=%d segs=%d %s", tc.ranks, tc.segments, tc.approach), func(t *testing.T) {
+			got := make([]complex128, n)
+			sim.Run(sim.Config{Ranks: tc.ranks, Approach: tc.approach}, func(env *sim.Env) {
+				m := n / env.Size()
+				local := make([]complex128, m)
+				copy(local, x[env.Rank()*m:(env.Rank()+1)*m])
+				DistPipelined(env.World, local, tc.segments)
+				copy(got[env.Rank()*m:(env.Rank()+1)*m], local)
+				env.World.Barrier()
+			})
+			if e := maxErr(got, want); e > 1e-7 {
+				t.Fatalf("max error %g", e)
+			}
+		})
+	}
+}
+
+// TestDistPipelinedOverlapBeatsMonolithic: under offload, the pipelined
+// transform should finish no slower than the monolithic one (it overlaps
+// segment exchanges with row FFTs).
+func TestDistPipelinedOverlapBeatsMonolithic(t *testing.T) {
+	const n = 1 << 16
+	run := func(pipelined bool) int64 {
+		var elapsed int64
+		res := sim.Run(sim.Config{Ranks: 4, Approach: sim.Offload}, func(env *sim.Env) {
+			m := n / env.Size()
+			local := randVec(m, int64(env.Rank()))
+			if pipelined {
+				DistPipelined(env.World, local, 2)
+			} else {
+				Dist(env.World, local)
+			}
+			env.World.Barrier()
+		})
+		elapsed = int64(res.Elapsed)
+		return elapsed
+	}
+	mono, pipe := run(false), run(true)
+	if pipe >= mono {
+		t.Fatalf("pipelined %d ns should beat monolithic %d ns (overlap)", pipe, mono)
+	}
+}

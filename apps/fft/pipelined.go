@@ -1,0 +1,117 @@
+package fft
+
+import (
+	"math"
+
+	"mpioffload/mpi"
+)
+
+// DistPipelined is the segmented, pipelined variant of Dist, in the spirit
+// of the SOI FFT the paper runs (§5.2): each global transpose is split
+// into `segments` independent all-to-alls, posted up front; the row FFTs
+// of a segment run as soon as that segment's exchange completes, while
+// later segments are still on the wire. Under an approach with
+// asynchronous progress, communication of segment s+1 overlaps computation
+// of segment s.
+//
+// Same requirements as Dist: N a power of two, P² | N; additionally the
+// per-rank row counts of both transposes must be divisible by `segments`.
+func DistPipelined(c *mpi.Comm, local []complex128, segments int) {
+	p := c.Size()
+	m := len(local)
+	n := m * p
+	if n&(n-1) != 0 {
+		panic("fft: global length is not a power of two")
+	}
+	n1 := 1 << (uint(log2(n)) / 2)
+	n2 := n / n1
+	if n1%p != 0 || n2%p != 0 {
+		panic("fft: P² must divide N")
+	}
+	if segments < 1 {
+		segments = 1
+	}
+
+	// Step 1+2+3: segmented transpose to A[n2][n1], FFT+twiddle per
+	// segment as it lands.
+	base2 := c.Rank() * (n2 / p)
+	a := transposePipelined(c, local, n1, n2, segments, func(row0 int, rows []complex128) {
+		for r := 0; r < len(rows)/n1; r++ {
+			seg := rows[r*n1 : (r+1)*n1]
+			FFT(seg)
+			gn2 := base2 + row0 + r
+			for k1 := 0; k1 < n1; k1++ {
+				ang := -2 * math.Pi * float64(gn2) * float64(k1) / float64(n)
+				seg[k1] *= complex(math.Cos(ang), math.Sin(ang))
+			}
+		}
+		c.Compute(float64(len(rows)/n1) * (Flops(n1) + 6*float64(n1)))
+	})
+	// Step 4+5: segmented transpose back to B[k1][n2], FFT per segment.
+	b := transposePipelined(c, a, n2, n1, segments, func(_ int, rows []complex128) {
+		for r := 0; r < len(rows)/n2; r++ {
+			FFT(rows[r*n2 : (r+1)*n2])
+		}
+		c.Compute(float64(len(rows)/n2) * Flops(n2))
+	})
+	// Step 6: final transpose into natural order (no compute to overlap).
+	out := transposePipelined(c, b, n1, n2, segments, nil)
+	copy(local, out)
+}
+
+// transposePipelined redistributes the row-major R×C matrix (R/P rows per
+// rank) into its C×R transpose (C/P rows per rank) using `segments`
+// independent all-to-alls over row-chunks of the output. onSeg, if set, is
+// called with each completed chunk (row0 = first local output row of the
+// chunk) while later chunks may still be in flight.
+func transposePipelined(c *mpi.Comm, local []complex128, r, cc, segments int, onSeg func(row0 int, rows []complex128)) []complex128 {
+	p := c.Size()
+	rloc := r / p
+	cloc := cc / p
+	if segments > cloc {
+		segments = cloc
+	}
+	if cloc%segments != 0 {
+		panic("fft: segments must divide the per-rank output rows")
+	}
+	chunk := cloc / segments // output rows per rank per segment
+	bs := rloc * chunk       // elements per (dest, segment) block
+
+	out := make([]complex128, cloc*r)
+	sends := make([][]complex128, segments)
+	recvs := make([][]complex128, segments)
+	reqs := make([]mpi.Request, segments)
+
+	// Post every segment's exchange up front.
+	for s := 0; s < segments; s++ {
+		send := make([]complex128, bs*p)
+		for t := 0; t < p; t++ {
+			o := t * bs
+			for col := 0; col < chunk; col++ {
+				gcol := t*cloc + s*chunk + col
+				for row := 0; row < rloc; row++ {
+					send[o+col*rloc+row] = local[row*cc+gcol]
+				}
+			}
+		}
+		recv := make([]complex128, bs*p)
+		sends[s], recvs[s] = send, recv
+		reqs[s] = c.Ialltoall(mpi.Complex128Bytes(send), mpi.Complex128Bytes(recv), bs*16)
+	}
+	// Consume segments in order, computing while the rest fly.
+	for s := 0; s < segments; s++ {
+		c.Wait(&reqs[s])
+		recv := recvs[s]
+		for q := 0; q < p; q++ {
+			o := q * bs
+			for col := 0; col < chunk; col++ {
+				orow := s*chunk + col
+				copy(out[orow*r+q*rloc:orow*r+(q+1)*rloc], recv[o+col*rloc:o+(col+1)*rloc])
+			}
+		}
+		if onSeg != nil {
+			onSeg(s*chunk, out[s*chunk*r:(s+1)*chunk*r])
+		}
+	}
+	return out
+}

@@ -1,0 +1,258 @@
+package qcd
+
+import (
+	"mpioffload/mpi"
+)
+
+// ExchangeGaugeHalos fills the gauge-field halos (blocking; done once at
+// setup). The backward hopping term needs U_μ(x-μ̂), so halo links are
+// required on the low side; both sides are exchanged for simplicity.
+func ExchangeGaugeHalos(c *mpi.Comm, u *Gauge) {
+	g := u.G
+	tag := 9000
+	for d := 0; d < Nd; d++ {
+		if g.Grid[d] == 1 {
+			// Periodic wrap locally.
+			g.forFace(d, 1, func(idx int) { u.U[g.shift(idx, d, g.Local[d])] = u.U[idx] })
+			g.forFace(d, g.Local[d], func(idx int) { u.U[g.shift(idx, d, -g.Local[d])] = u.U[idx] })
+			continue
+		}
+		n := g.FaceSites(d)
+		low := make([][Nd]SU3, n)
+		high := make([][Nd]SU3, n)
+		lowIn := make([][Nd]SU3, n)
+		highIn := make([][Nd]SU3, n)
+		i := 0
+		g.forFace(d, 1, func(idx int) { low[i] = u.U[idx]; i++ })
+		i = 0
+		g.forFace(d, g.Local[d], func(idx int) { high[i] = u.U[idx]; i++ })
+		rl := c.Irecv(linkBytes(lowIn), g.Neighbor(d, -1), tag+1)
+		rh := c.Irecv(linkBytes(highIn), g.Neighbor(d, +1), tag)
+		sl := c.Isend(linkBytes(low), g.Neighbor(d, -1), tag)
+		sh := c.Isend(linkBytes(high), g.Neighbor(d, +1), tag+1)
+		c.Waitall(&rl, &rh, &sl, &sh)
+		i = 0
+		g.forFace(d, 0, func(idx int) { u.U[idx] = lowIn[i]; i++ })
+		i = 0
+		g.forFace(d, g.Local[d]+1, func(idx int) { u.U[idx] = highIn[i]; i++ })
+		tag += 2
+	}
+}
+
+// dslashSite computes the Wilson-Dslash sum at one site:
+//
+//	D ψ(x) = Σ_μ [ U_μ(x) (1-γ_μ) ψ(x+μ̂) + U†_μ(x-μ̂) (1+γ_μ) ψ(x-μ̂) ]
+func dslashSite(g *Geom, u *Gauge, in *Field, idx int) Spinor {
+	var acc Spinor
+	for mu := 0; mu < Nd; mu++ {
+		xp := g.shift(idx, mu, +1)
+		fwd := projMinus(mu, &in.S[xp])
+		acc = acc.Add(mulLink(&u.U[idx][mu], fwd))
+		xm := g.shift(idx, mu, -1)
+		bwd := projPlus(mu, &in.S[xm])
+		acc = acc.Add(mulLinkAdj(&u.U[xm][mu], bwd))
+	}
+	return acc
+}
+
+// interiorBoundarySplit returns the index lists of deep-interior sites
+// (no neighbour in a halo of a split dimension) and boundary sites.
+func interiorBoundarySplit(g *Geom) (interior, boundary []int) {
+	isBoundary := func(x, y, z, t int) bool {
+		c := [Nd]int{x, y, z, t}
+		for d := 0; d < Nd; d++ {
+			if g.Grid[d] > 1 && (c[d] == 1 || c[d] == g.Local[d]) {
+				return true
+			}
+		}
+		return false
+	}
+	for t := 1; t <= g.Local[3]; t++ {
+		for z := 1; z <= g.Local[2]; z++ {
+			for y := 1; y <= g.Local[1]; y++ {
+				for x := 1; x <= g.Local[0]; x++ {
+					if isBoundary(x, y, z, t) {
+						boundary = append(boundary, g.Idx(x, y, z, t))
+					} else {
+						interior = append(interior, g.Idx(x, y, z, t))
+					}
+				}
+			}
+		}
+	}
+	return interior, boundary
+}
+
+// Wilson is the distributed Wilson-Dslash fermion operator
+// M ψ = ψ - κ·D ψ on one rank's subdomain.
+type Wilson struct {
+	G        *Geom
+	U        *Gauge
+	Kappa    float32
+	Comm     *mpi.Comm
+	Ex       *Exchanger
+	interior []int
+	boundary []int
+	// Progress, if set, is called between interior-compute chunks (the
+	// paper's iprobe hook, Listing 1 lines 9/11).
+	Progress func()
+}
+
+// NewWilson builds the operator; the gauge halos must already be current
+// (ExchangeGaugeHalos).
+func NewWilson(g *Geom, u *Gauge, kappa float32, c *mpi.Comm) *Wilson {
+	w := &Wilson{G: g, U: u, Kappa: kappa, Comm: c, Ex: NewExchanger(g)}
+	w.interior, w.boundary = interiorBoundarySplit(g)
+	return w
+}
+
+// Dslash computes out = D·in with the paper's overlap structure: pack and
+// post the halo exchange, compute interior sites while the exchange is in
+// flight, wait, then compute boundary sites.
+func (w *Wilson) Dslash(out, in *Field) {
+	w.Ex.Start(w.Comm, in)
+	for i, idx := range w.interior {
+		out.S[idx] = dslashSite(w.G, w.U, in, idx)
+		if w.Progress != nil && i%2048 == 2047 {
+			w.Progress()
+		}
+	}
+	w.Ex.Finish(w.Comm, in)
+	for _, idx := range w.boundary {
+		out.S[idx] = dslashSite(w.G, w.U, in, idx)
+	}
+}
+
+// Apply computes out = in - κ·D·in (the Wilson fermion matrix).
+func (w *Wilson) Apply(out, in *Field) {
+	w.Dslash(out, in)
+	k := complex(w.Kappa, 0)
+	w.G.forInterior(func(idx int) {
+		out.S[idx] = in.S[idx].Sub(out.S[idx].Scale(k))
+	})
+}
+
+// ApplyDag computes out = M†·in = γ₅ M γ₅ in (γ₅-hermiticity of the
+// Wilson operator).
+func (w *Wilson) ApplyDag(out, in *Field) {
+	tmp := NewField(w.G)
+	w.G.forInterior(func(idx int) { tmp.S[idx] = MulGamma5(in.S[idx]) })
+	w.Apply(out, tmp)
+	w.G.forInterior(func(idx int) { out.S[idx] = MulGamma5(out.S[idx]) })
+}
+
+// Dot returns the global inner product ⟨a,b⟩ = Σ conj(a)·b over all ranks
+// (an MPI_Allreduce, as in the paper's CG/BiCGStab discussion, §5.1).
+func Dot(c *mpi.Comm, a, b *Field) complex128 {
+	var re, im float64
+	a.G.forInterior(func(idx int) {
+		for s := 0; s < Ns; s++ {
+			for cc := 0; cc < Nc; cc++ {
+				x, y := a.S[idx][s][cc], b.S[idx][s][cc]
+				re += float64(real(x))*float64(real(y)) + float64(imag(x))*float64(imag(y))
+				im += float64(real(x))*float64(imag(y)) - float64(imag(x))*float64(real(y))
+			}
+		}
+	})
+	v := []float64{re, im}
+	c.Allreduce(mpi.Float64Bytes(v), mpi.SumFloat64)
+	return complex(v[0], v[1])
+}
+
+// Norm2 returns the squared global 2-norm of a field.
+func Norm2(c *mpi.Comm, a *Field) float64 { return real(Dot(c, a, a)) }
+
+// axpy: y += k·x over the interior.
+func axpy(k complex128, x, y *Field) {
+	kk := complex64(k)
+	y.G.forInterior(func(idx int) {
+		y.S[idx] = y.S[idx].Add(x.S[idx].Scale(kk))
+	})
+}
+
+// copyField copies interior sites of src into dst.
+func copyField(dst, src *Field) {
+	dst.G.forInterior(func(idx int) { dst.S[idx] = src.S[idx] })
+}
+
+// SolveCG solves M†M x = M†b by conjugate gradients (CGNE) and returns
+// the iteration count. x must be zero-initialized (or a starting guess).
+func SolveCG(w *Wilson, x, b *Field, tol float64, maxIter int) int {
+	g := w.G
+	tmp := NewField(g)
+	r := NewField(g)
+	// r = M†b - M†M x
+	w.Apply(tmp, x)
+	mtmx := NewField(g)
+	w.ApplyDag(mtmx, tmp)
+	w.ApplyDag(r, b)
+	g.forInterior(func(idx int) { r.S[idx] = r.S[idx].Sub(mtmx.S[idx]) })
+	p := NewField(g)
+	copyField(p, r)
+	rr := Norm2(w.Comm, r)
+	target := tol * tol * Norm2(w.Comm, b)
+	ap := NewField(g)
+	for it := 0; it < maxIter; it++ {
+		if rr <= target {
+			return it
+		}
+		// ap = M†M p
+		w.Apply(tmp, p)
+		w.ApplyDag(ap, tmp)
+		alpha := rr / real(Dot(w.Comm, p, ap))
+		axpy(complex(alpha, 0), p, x)
+		axpy(complex(-alpha, 0), ap, r)
+		rr2 := Norm2(w.Comm, r)
+		beta := rr2 / rr
+		rr = rr2
+		g.forInterior(func(idx int) {
+			p.S[idx] = r.S[idx].Add(p.S[idx].Scale(complex(float32(beta), 0)))
+		})
+	}
+	return maxIter
+}
+
+// SolveBiCGStab solves M x = b with BiCGStab and returns the iteration
+// count.
+func SolveBiCGStab(w *Wilson, x, b *Field, tol float64, maxIter int) int {
+	g := w.G
+	r := NewField(g)
+	w.Apply(r, x)
+	g.forInterior(func(idx int) { r.S[idx] = b.S[idx].Sub(r.S[idx]) })
+	rhat := NewField(g)
+	copyField(rhat, r)
+	v := NewField(g)
+	p := NewField(g)
+	s := NewField(g)
+	t := NewField(g)
+	var rho, alpha, omega complex128 = 1, 1, 1
+	target := tol * tol * Norm2(w.Comm, b)
+	for it := 0; it < maxIter; it++ {
+		if Norm2(w.Comm, r) <= target {
+			return it
+		}
+		rhoNew := Dot(w.Comm, rhat, r)
+		beta := (rhoNew / rho) * (alpha / omega)
+		rho = rhoNew
+		// p = r + beta*(p - omega*v)
+		g.forInterior(func(idx int) {
+			pv := p.S[idx].Sub(v.S[idx].Scale(complex64(omega)))
+			p.S[idx] = r.S[idx].Add(pv.Scale(complex64(beta)))
+		})
+		w.Apply(v, p)
+		alpha = rho / Dot(w.Comm, rhat, v)
+		// s = r - alpha*v
+		g.forInterior(func(idx int) {
+			s.S[idx] = r.S[idx].Sub(v.S[idx].Scale(complex64(alpha)))
+		})
+		w.Apply(t, s)
+		omega = Dot(w.Comm, t, s) / Dot(w.Comm, t, t)
+		// x += alpha*p + omega*s ; r = s - omega*t
+		axpy(alpha, p, x)
+		axpy(omega, s, x)
+		g.forInterior(func(idx int) {
+			r.S[idx] = s.S[idx].Sub(t.S[idx].Scale(complex64(omega)))
+		})
+	}
+	return maxIter
+}

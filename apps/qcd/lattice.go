@@ -1,0 +1,348 @@
+package qcd
+
+import (
+	"fmt"
+	"math/rand"
+	"unsafe"
+
+	"mpioffload/mpi"
+)
+
+// Geom is the local view of a domain-decomposed 4-D lattice. Dimensions
+// are ordered x, y, z, t (index 0..3). Each rank owns an interior block of
+// Local sites per dimension, stored inside an extended array with a
+// one-site halo on every side; halos are filled by ExchangeHalos (from the
+// neighbouring rank, or by periodic wraparound when a dimension is not
+// split).
+type Geom struct {
+	Global [Nd]int // global lattice extent
+	Grid   [Nd]int // process grid
+	Local  [Nd]int // interior extent per rank
+	Coords [Nd]int // this rank's grid coordinates
+	Ext    [Nd]int // extended extent = Local + 2
+	Rank   int
+	Size   int
+}
+
+// ChooseGrid partitions `ranks` processes over the lattice, halving the
+// largest local dimension first and breaking ties in the paper's order:
+// first T, then Z, then Y and finally X (§5.1).
+func ChooseGrid(global [Nd]int, ranks int) [Nd]int {
+	grid := [Nd]int{1, 1, 1, 1}
+	local := global
+	for _, p := range primeFactors(ranks) {
+		best := -1
+		for _, d := range []int{3, 2, 1, 0} { // T, Z, Y, X preference
+			if local[d]%p != 0 {
+				continue
+			}
+			// Cut the largest local extent; break ties toward the least-
+			// cut dimension so the subdomain stays as cubic as possible
+			// (message sizes then shrink with scale the way the paper's
+			// runs do — ~48 KB per direction at 512 ranks on 32³×256).
+			if best == -1 || local[d] > local[best] ||
+				(local[d] == local[best] && grid[d] < grid[best]) {
+				best = d
+			}
+		}
+		if best == -1 {
+			panic(fmt.Sprintf("qcd: cannot split lattice %v over %d ranks (factor %d)", global, ranks, p))
+		}
+		grid[best] *= p
+		local[best] /= p
+	}
+	return grid
+}
+
+func primeFactors(n int) []int {
+	var fs []int
+	for p := 2; p*p <= n; p++ {
+		for n%p == 0 {
+			fs = append(fs, p)
+			n /= p
+		}
+	}
+	if n > 1 {
+		fs = append(fs, n)
+	}
+	return fs
+}
+
+// NewGeom builds the local geometry for one rank.
+func NewGeom(global, grid [Nd]int, rank int) *Geom {
+	g := &Geom{Global: global, Grid: grid, Rank: rank}
+	g.Size = grid[0] * grid[1] * grid[2] * grid[3]
+	if rank < 0 || rank >= g.Size {
+		panic("qcd: rank out of range")
+	}
+	r := rank // x fastest, then y, z, t
+	for d := 0; d < Nd; d++ {
+		g.Coords[d] = r % grid[d]
+		r /= grid[d]
+		if global[d]%grid[d] != 0 {
+			panic(fmt.Sprintf("qcd: dimension %d (%d) not divisible by grid %d", d, global[d], grid[d]))
+		}
+		g.Local[d] = global[d] / grid[d]
+		g.Ext[d] = g.Local[d] + 2
+	}
+	return g
+}
+
+// RankOf returns the rank at the given grid coordinates (periodic).
+func (g *Geom) RankOf(coords [Nd]int) int {
+	r := 0
+	for d := Nd - 1; d >= 0; d-- {
+		c := ((coords[d] % g.Grid[d]) + g.Grid[d]) % g.Grid[d]
+		r = r*g.Grid[d] + c
+	}
+	return r
+}
+
+// Neighbor returns the rank one step away in dimension d (dir ±1).
+func (g *Geom) Neighbor(d, dir int) int {
+	c := g.Coords
+	c[d] += dir
+	return g.RankOf(c)
+}
+
+// Idx maps extended coordinates (0..Ext-1 per dim, interior 1..Local) to a
+// linear index (x fastest).
+func (g *Geom) Idx(x, y, z, t int) int {
+	return ((t*g.Ext[2]+z)*g.Ext[1]+y)*g.Ext[0] + x
+}
+
+// ExtVolume is the extended (halo-included) site count.
+func (g *Geom) ExtVolume() int { return g.Ext[0] * g.Ext[1] * g.Ext[2] * g.Ext[3] }
+
+// Volume is the interior site count.
+func (g *Geom) Volume() int { return g.Local[0] * g.Local[1] * g.Local[2] * g.Local[3] }
+
+// GlobalVolume is the total lattice site count.
+func (g *Geom) GlobalVolume() int {
+	return g.Global[0] * g.Global[1] * g.Global[2] * g.Global[3]
+}
+
+// FaceSites returns the number of sites on the face orthogonal to d.
+func (g *Geom) FaceSites(d int) int { return g.Volume() / g.Local[d] }
+
+// forFace visits every interior site whose coordinate in dimension d is
+// fixed to `fix` (an extended coordinate).
+func (g *Geom) forFace(d, fix int, fn func(idx int)) {
+	lo := [Nd]int{1, 1, 1, 1}
+	hi := g.Local
+	lo[d], hi[d] = fix, fix
+	for t := lo[3]; t <= hi[3]; t++ {
+		for z := lo[2]; z <= hi[2]; z++ {
+			for y := lo[1]; y <= hi[1]; y++ {
+				for x := lo[0]; x <= hi[0]; x++ {
+					fn(g.Idx(x, y, z, t))
+				}
+			}
+		}
+	}
+}
+
+// Field is a spinor field on the extended local lattice.
+type Field struct {
+	G *Geom
+	S []Spinor
+}
+
+// NewField allocates a zero field on g.
+func NewField(g *Geom) *Field { return &Field{G: g, S: make([]Spinor, g.ExtVolume())} }
+
+// Randomize fills the interior with pseudo-random spinors.
+func (f *Field) Randomize(rng *rand.Rand) {
+	f.G.forInterior(func(idx int) { f.S[idx] = RandomSpinor(rng) })
+}
+
+// forInterior visits every interior site.
+func (g *Geom) forInterior(fn func(idx int)) {
+	for t := 1; t <= g.Local[3]; t++ {
+		for z := 1; z <= g.Local[2]; z++ {
+			for y := 1; y <= g.Local[1]; y++ {
+				for x := 1; x <= g.Local[0]; x++ {
+					fn(g.Idx(x, y, z, t))
+				}
+			}
+		}
+	}
+}
+
+// Gauge is the gauge field: Nd links per extended site.
+type Gauge struct {
+	G *Geom
+	U [][Nd]SU3
+}
+
+// NewGauge allocates a gauge field with unit links.
+func NewGauge(g *Geom) *Gauge {
+	u := &Gauge{G: g, U: make([][Nd]SU3, g.ExtVolume())}
+	unit := SU3{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}
+	for i := range u.U {
+		for d := 0; d < Nd; d++ {
+			u.U[i][d] = unit
+		}
+	}
+	return u
+}
+
+// Randomize fills the interior links with random SU(3) matrices.
+func (u *Gauge) Randomize(rng *rand.Rand) {
+	u.G.forInterior(func(idx int) {
+		for d := 0; d < Nd; d++ {
+			u.U[idx][d] = RandomSU3(rng)
+		}
+	})
+}
+
+func spinorBytes(s []Spinor) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*int(unsafe.Sizeof(Spinor{})))
+}
+
+func linkBytes(s [][Nd]SU3) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*int(unsafe.Sizeof([Nd]SU3{})))
+}
+
+// haloPlan describes one direction's pack/send/recv/unpack for dimension d:
+// send the interior face at sendFix to rank `peer`; the matching arrival
+// fills the halo slab at recvFix.
+type haloPlan struct {
+	d        int
+	peer     int
+	sendFix  int
+	recvFix  int
+	tag      int
+	sendBuf  []Spinor
+	recvBuf  []Spinor
+	sendReq  mpi.Request
+	recvReq  mpi.Request
+	inFlight bool
+}
+
+// Exchanger performs halo exchange of spinor fields for one geometry,
+// reusing its buffers across iterations. It follows the paper's pattern:
+// pack faces, post all nonblocking receives and sends, (compute interior),
+// wait, unpack into halos.
+type Exchanger struct {
+	g     *Geom
+	plans []*haloPlan
+}
+
+// NewExchanger builds the halo plans for dimensions that are split across
+// ranks. Unsplit dimensions are wrapped locally at exchange time.
+func NewExchanger(g *Geom) *Exchanger {
+	ex := &Exchanger{g: g}
+	tag := 0
+	for d := 0; d < Nd; d++ {
+		if g.Grid[d] == 1 {
+			continue
+		}
+		n := g.FaceSites(d)
+		// Send my low face to the -1 neighbour (it becomes their high
+		// halo), receive my high halo from the +1 neighbour, and vice
+		// versa.
+		ex.plans = append(ex.plans,
+			&haloPlan{d: d, peer: g.Neighbor(d, -1), sendFix: 1, recvFix: 0,
+				tag: 2 * tag, sendBuf: make([]Spinor, n), recvBuf: make([]Spinor, n)},
+			&haloPlan{d: d, peer: g.Neighbor(d, +1), sendFix: g.Local[d], recvFix: g.Local[d] + 1,
+				tag: 2*tag + 1, sendBuf: make([]Spinor, n), recvBuf: make([]Spinor, n)},
+		)
+		tag++
+	}
+	return ex
+}
+
+// Start packs the faces and posts all nonblocking receives and sends.
+func (ex *Exchanger) Start(c *mpi.Comm, f *Field) {
+	g := ex.g
+	// Local periodic wrap for unsplit dimensions.
+	for d := 0; d < Nd; d++ {
+		if g.Grid[d] > 1 {
+			continue
+		}
+		g.wrapLocal(d, f)
+	}
+	for _, p := range ex.plans {
+		i := 0
+		g.forFace(p.d, p.sendFix, func(idx int) { p.sendBuf[i] = f.S[idx]; i++ })
+	}
+	for _, p := range ex.plans {
+		// The low-face send of my neighbour arrives tagged for my high
+		// halo: tags pair up because both sides enumerate plans in the
+		// same dimension order. Plan k sends with tag t and the matching
+		// receive on the peer uses the same tag with reversed direction.
+		p.recvReq = c.Irecv(spinorBytes(p.recvBuf), p.peerRankIn(c), p.recvTag())
+	}
+	for _, p := range ex.plans {
+		p.sendReq = c.Isend(spinorBytes(p.sendBuf), p.peerRankIn(c), p.tag)
+		p.inFlight = true
+	}
+}
+
+// peerRankIn translates the global peer rank into the communicator's rank
+// space (world communicators are the identity mapping).
+func (p *haloPlan) peerRankIn(*mpi.Comm) int { return p.peer }
+
+// recvTag is the paired plan's send tag: my low halo (recvFix 0) is filled
+// by the -1 neighbour's *high*-face send (tag 2k+1), my high halo by the
+// +1 neighbour's *low*-face send (tag 2k). Either way it is tag XOR 1.
+// When Grid[d] == 2 the two neighbours coincide and the tag pair is what
+// keeps the two directions apart.
+func (p *haloPlan) recvTag() int { return p.tag ^ 1 }
+
+// Finish waits for all transfers and unpacks the halos of f.
+func (ex *Exchanger) Finish(c *mpi.Comm, f *Field) {
+	var reqs []*mpi.Request
+	for _, p := range ex.plans {
+		if p.inFlight {
+			reqs = append(reqs, &p.recvReq, &p.sendReq)
+		}
+	}
+	c.Waitall(reqs...)
+	for _, p := range ex.plans {
+		if !p.inFlight {
+			continue
+		}
+		p.inFlight = false
+		i := 0
+		ex.g.forFace(p.d, p.recvFix, func(idx int) {
+			f.S[idx] = p.recvBuf[i]
+			i++
+		})
+	}
+}
+
+// Exchange is Start+Finish with no overlap.
+func (ex *Exchanger) Exchange(c *mpi.Comm, f *Field) {
+	ex.Start(c, f)
+	ex.Finish(c, f)
+}
+
+// wrapLocal fills both halos of an unsplit dimension by periodic copy.
+func (g *Geom) wrapLocal(d int, f *Field) {
+	g.forFace(d, 1, func(idx int) {
+		f.S[g.shift(idx, d, g.Local[d])] = f.S[idx]
+	})
+	g.forFace(d, g.Local[d], func(idx int) {
+		f.S[g.shift(idx, d, -g.Local[d])] = f.S[idx]
+	})
+}
+
+// stride returns the linear stride of one step in dimension d.
+func (g *Geom) stride(d int) int {
+	s := 1
+	for i := 0; i < d; i++ {
+		s *= g.Ext[i]
+	}
+	return s
+}
+
+// shift returns idx moved by n steps along dimension d (no wrapping).
+func (g *Geom) shift(idx, d, n int) int { return idx + n*g.stride(d) }

@@ -1,0 +1,393 @@
+package qcd
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"mpioffload/sim"
+)
+
+func TestGammaAlgebra(t *testing.T) {
+	var ident [Ns][Ns]complex64
+	for i := 0; i < Ns; i++ {
+		ident[i][i] = 1
+	}
+	// {γμ, γν} = 2 δμν I
+	for mu := 0; mu < Nd; mu++ {
+		for nu := 0; nu < Nd; nu++ {
+			anti := matAdd(matMul4(Gamma[mu], Gamma[nu]), matMul4(Gamma[nu], Gamma[mu]))
+			want := matScale(ident, 0)
+			if mu == nu {
+				want = matScale(ident, 2)
+			}
+			if !matEq(anti, want) {
+				t.Fatalf("anticommutator {γ%d,γ%d} wrong: %v", mu, nu, anti)
+			}
+		}
+	}
+	// γ₅² = I and γ₅ anticommutes with every γμ.
+	if !matEq(matMul4(Gamma5, Gamma5), ident) {
+		t.Fatal("γ₅² != I")
+	}
+	for mu := 0; mu < Nd; mu++ {
+		anti := matAdd(matMul4(Gamma5, Gamma[mu]), matMul4(Gamma[mu], Gamma5))
+		if !matEq(anti, matScale(ident, 0)) {
+			t.Fatalf("γ₅ does not anticommute with γ%d", mu)
+		}
+	}
+}
+
+func matAdd(a, b [Ns][Ns]complex64) [Ns][Ns]complex64 {
+	for i := 0; i < Ns; i++ {
+		for j := 0; j < Ns; j++ {
+			a[i][j] += b[i][j]
+		}
+	}
+	return a
+}
+
+func matScale(a [Ns][Ns]complex64, k complex64) [Ns][Ns]complex64 {
+	for i := 0; i < Ns; i++ {
+		for j := 0; j < Ns; j++ {
+			a[i][j] *= k
+		}
+	}
+	return a
+}
+
+func matEq(a, b [Ns][Ns]complex64) bool {
+	for i := 0; i < Ns; i++ {
+		for j := 0; j < Ns; j++ {
+			d := a[i][j] - b[i][j]
+			if math.Abs(float64(real(d)))+math.Abs(float64(imag(d))) > 1e-5 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestRandomSU3IsUnitary(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for n := 0; n < 20; n++ {
+		u := RandomSU3(rng)
+		for i := 0; i < Nc; i++ {
+			for j := 0; j < Nc; j++ {
+				var dot complex64
+				for k := 0; k < Nc; k++ {
+					dot += conj(u[k][i]) * u[k][j]
+				}
+				want := complex64(0)
+				if i == j {
+					want = 1
+				}
+				if d := dot - want; math.Abs(float64(real(d)))+math.Abs(float64(imag(d))) > 1e-4 {
+					t.Fatalf("U†U[%d][%d] = %v", i, j, dot)
+				}
+			}
+		}
+	}
+}
+
+func TestChooseGrid(t *testing.T) {
+	for _, tc := range []struct {
+		ranks int
+		want  [Nd]int
+	}{
+		{1, [Nd]int{1, 1, 1, 1}},
+		{2, [Nd]int{1, 1, 1, 2}},  // T first
+		{4, [Nd]int{1, 1, 1, 4}},  // T is largest (32) after one cut: 16 >= 8,8,8 so T again
+		{8, [Nd]int{1, 1, 2, 4}},  // then Z
+		{16, [Nd]int{1, 2, 2, 4}}, // then Y
+	} {
+		got := ChooseGrid([Nd]int{8, 8, 8, 32}, tc.ranks)
+		if got != tc.want {
+			t.Errorf("ChooseGrid(8³×32, %d) = %v, want %v", tc.ranks, got, tc.want)
+		}
+	}
+}
+
+func TestChooseGridImpossiblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ChooseGrid([Nd]int{2, 2, 2, 2}, 32)
+}
+
+// globalIndex helpers for scatter/gather in tests.
+func scatterField(global []Spinor, L [Nd]int, g *Geom, f *Field) {
+	for t := 1; t <= g.Local[3]; t++ {
+		for z := 1; z <= g.Local[2]; z++ {
+			for y := 1; y <= g.Local[1]; y++ {
+				for x := 1; x <= g.Local[0]; x++ {
+					gx := g.Coords[0]*g.Local[0] + x - 1
+					gy := g.Coords[1]*g.Local[1] + y - 1
+					gz := g.Coords[2]*g.Local[2] + z - 1
+					gt := g.Coords[3]*g.Local[3] + t - 1
+					gi := ((gt*L[2]+gz)*L[1]+gy)*L[0] + gx
+					f.S[g.Idx(x, y, z, t)] = global[gi]
+				}
+			}
+		}
+	}
+}
+
+func gatherField(global []Spinor, L [Nd]int, g *Geom, f *Field) {
+	for t := 1; t <= g.Local[3]; t++ {
+		for z := 1; z <= g.Local[2]; z++ {
+			for y := 1; y <= g.Local[1]; y++ {
+				for x := 1; x <= g.Local[0]; x++ {
+					gx := g.Coords[0]*g.Local[0] + x - 1
+					gy := g.Coords[1]*g.Local[1] + y - 1
+					gz := g.Coords[2]*g.Local[2] + z - 1
+					gt := g.Coords[3]*g.Local[3] + t - 1
+					gi := ((gt*L[2]+gz)*L[1]+gy)*L[0] + gx
+					global[gi] = f.S[g.Idx(x, y, z, t)]
+				}
+			}
+		}
+	}
+}
+
+func scatterGauge(global [][Nd]SU3, L [Nd]int, g *Geom, u *Gauge) {
+	for t := 1; t <= g.Local[3]; t++ {
+		for z := 1; z <= g.Local[2]; z++ {
+			for y := 1; y <= g.Local[1]; y++ {
+				for x := 1; x <= g.Local[0]; x++ {
+					gx := g.Coords[0]*g.Local[0] + x - 1
+					gy := g.Coords[1]*g.Local[1] + y - 1
+					gz := g.Coords[2]*g.Local[2] + z - 1
+					gt := g.Coords[3]*g.Local[3] + t - 1
+					gi := ((gt*L[2]+gz)*L[1]+gy)*L[0] + gx
+					u.U[g.Idx(x, y, z, t)] = global[gi]
+				}
+			}
+		}
+	}
+}
+
+// serialDslash computes the reference result on one rank.
+func serialDslash(t *testing.T, L [Nd]int, gauge [][Nd]SU3, in []Spinor) []Spinor {
+	t.Helper()
+	out := make([]Spinor, len(in))
+	sim.Run(sim.Config{Ranks: 1, Approach: sim.Baseline}, func(env *sim.Env) {
+		g := NewGeom(L, [Nd]int{1, 1, 1, 1}, 0)
+		u := NewGauge(g)
+		scatterGauge(gauge, L, g, u)
+		ExchangeGaugeHalos(env.World, u)
+		fin := NewField(g)
+		scatterField(in, L, g, fin)
+		w := NewWilson(g, u, 0.1, env.World)
+		fout := NewField(g)
+		w.Dslash(fout, fin)
+		gatherField(out, L, g, fout)
+	})
+	return out
+}
+
+func randomGlobal(L [Nd]int, seed int64) ([][Nd]SU3, []Spinor) {
+	v := L[0] * L[1] * L[2] * L[3]
+	rng := rand.New(rand.NewSource(seed))
+	gauge := make([][Nd]SU3, v)
+	for i := range gauge {
+		for d := 0; d < Nd; d++ {
+			gauge[i][d] = RandomSU3(rng)
+		}
+	}
+	in := make([]Spinor, v)
+	for i := range in {
+		in[i] = RandomSpinor(rng)
+	}
+	return gauge, in
+}
+
+func spinorClose(a, b Spinor, tol float64) bool {
+	for s := 0; s < Ns; s++ {
+		for c := 0; c < Nc; c++ {
+			d := a[s][c] - b[s][c]
+			if math.Abs(float64(real(d))) > tol || math.Abs(float64(imag(d))) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestDistributedDslashMatchesSerial is the central correctness test: the
+// domain-decomposed Dslash with real halo exchange over the simulated
+// cluster must agree with the single-rank operator, for several process
+// grids and approaches.
+func TestDistributedDslashMatchesSerial(t *testing.T) {
+	L := [Nd]int{4, 4, 4, 8}
+	gauge, in := randomGlobal(L, 42)
+	want := serialDslash(t, L, gauge, in)
+	v := len(in)
+
+	for _, tc := range []struct {
+		ranks    int
+		approach sim.Approach
+	}{
+		{2, sim.Baseline},
+		{4, sim.Baseline},
+		{8, sim.Baseline},
+		{4, sim.Iprobe},
+		{4, sim.CommSelf},
+		{4, sim.Offload},
+	} {
+		tc := tc
+		t.Run(fmt.Sprintf("ranks=%d/%s", tc.ranks, tc.approach), func(t *testing.T) {
+			got := make([]Spinor, v)
+			grid := ChooseGrid(L, tc.ranks)
+			sim.Run(sim.Config{Ranks: tc.ranks, Approach: tc.approach}, func(env *sim.Env) {
+				g := NewGeom(L, grid, env.Rank())
+				u := NewGauge(g)
+				scatterGauge(gauge, L, g, u)
+				ExchangeGaugeHalos(env.World, u)
+				fin := NewField(g)
+				scatterField(in, L, g, fin)
+				w := NewWilson(g, u, 0.1, env.World)
+				if tc.approach == sim.Iprobe {
+					w.Progress = env.Progress
+				}
+				fout := NewField(g)
+				w.Dslash(fout, fin)
+				gatherField(got, L, g, fout)
+				env.World.Barrier()
+			})
+			for i := range want {
+				if !spinorClose(got[i], want[i], 1e-4) {
+					t.Fatalf("site %d differs: got %v want %v", i, got[i][0][0], want[i][0][0])
+				}
+			}
+		})
+	}
+}
+
+// TestGamma5Hermiticity: ⟨φ, Mψ⟩ must equal ⟨γ₅Mγ₅φ, ψ⟩ — the property
+// that makes CG on M†M sound.
+func TestGamma5Hermiticity(t *testing.T) {
+	L := [Nd]int{4, 4, 4, 4}
+	sim.Run(sim.Config{Ranks: 1, Approach: sim.Baseline}, func(env *sim.Env) {
+		g := NewGeom(L, [Nd]int{1, 1, 1, 1}, 0)
+		rng := rand.New(rand.NewSource(3))
+		u := NewGauge(g)
+		u.Randomize(rng)
+		ExchangeGaugeHalos(env.World, u)
+		w := NewWilson(g, u, 0.12, env.World)
+		phi := NewField(g)
+		psi := NewField(g)
+		phi.Randomize(rng)
+		psi.Randomize(rng)
+		mpsi := NewField(g)
+		w.Apply(mpsi, psi)
+		lhs := Dot(env.World, phi, mpsi)
+		mdagphi := NewField(g)
+		w.ApplyDag(mdagphi, phi)
+		rhs := Dot(env.World, mdagphi, psi)
+		if d := lhs - rhs; math.Abs(real(d))+math.Abs(imag(d)) > 1e-2*math.Abs(real(lhs))+1e-3 {
+			t.Fatalf("γ₅-hermiticity violated: ⟨φ,Mψ⟩=%v  ⟨M†φ,ψ⟩=%v", lhs, rhs)
+		}
+	})
+}
+
+func TestFreeFieldDslash(t *testing.T) {
+	// With unit gauge links and a constant spinor, D ψ = 8 ψ (each of the
+	// 8 hops contributes (1∓γ)ψ and the γ parts cancel pairwise).
+	L := [Nd]int{4, 4, 4, 4}
+	sim.Run(sim.Config{Ranks: 1, Approach: sim.Baseline}, func(env *sim.Env) {
+		g := NewGeom(L, [Nd]int{1, 1, 1, 1}, 0)
+		u := NewGauge(g) // unit links
+		ExchangeGaugeHalos(env.World, u)
+		fin := NewField(g)
+		var s Spinor
+		for sp := 0; sp < Ns; sp++ {
+			for c := 0; c < Nc; c++ {
+				s[sp][c] = complex(float32(sp+1), float32(c))
+			}
+		}
+		g.forInterior(func(idx int) { fin.S[idx] = s })
+		w := NewWilson(g, u, 0.1, env.World)
+		fout := NewField(g)
+		w.Dslash(fout, fin)
+		want := s.Scale(8)
+		g.forInterior(func(idx int) {
+			if !spinorClose(fout.S[idx], want, 1e-3) {
+				t.Fatalf("free-field Dslash wrong at %d: %v want %v", idx, fout.S[idx][0][0], want[0][0])
+			}
+		})
+	})
+}
+
+func TestCGSolves(t *testing.T) {
+	L := [Nd]int{4, 4, 4, 4}
+	for _, ranks := range []int{1, 4} {
+		ranks := ranks
+		t.Run(fmt.Sprintf("ranks=%d", ranks), func(t *testing.T) {
+			grid := ChooseGrid(L, ranks)
+			var relResid float64
+			sim.Run(sim.Config{Ranks: ranks, Approach: sim.Offload}, func(env *sim.Env) {
+				g := NewGeom(L, grid, env.Rank())
+				rng := rand.New(rand.NewSource(11 + int64(env.Rank())))
+				u := NewGauge(g)
+				u.Randomize(rng)
+				ExchangeGaugeHalos(env.World, u)
+				w := NewWilson(g, u, 0.08, env.World)
+				b := NewField(g)
+				b.Randomize(rng)
+				x := NewField(g)
+				it := SolveCG(w, x, b, 1e-5, 400)
+				if it >= 400 {
+					t.Errorf("CG did not converge")
+				}
+				// Verify the actual residual |Mx-b|/|b|.
+				mx := NewField(g)
+				w.Apply(mx, x)
+				g.forInterior(func(idx int) { mx.S[idx] = mx.S[idx].Sub(b.S[idx]) })
+				if env.Rank() == 0 {
+					relResid = math.Sqrt(Norm2(env.World, mx) / Norm2(env.World, b))
+				} else {
+					Norm2(env.World, mx)
+					Norm2(env.World, b)
+				}
+			})
+			if relResid > 1e-3 {
+				t.Fatalf("CG residual %g too large", relResid)
+			}
+		})
+	}
+}
+
+func TestBiCGStabSolves(t *testing.T) {
+	L := [Nd]int{4, 4, 4, 4}
+	var relResid float64
+	sim.Run(sim.Config{Ranks: 2, Approach: sim.Baseline}, func(env *sim.Env) {
+		grid := ChooseGrid(L, 2)
+		g := NewGeom(L, grid, env.Rank())
+		rng := rand.New(rand.NewSource(5 + int64(env.Rank())))
+		u := NewGauge(g)
+		u.Randomize(rng)
+		ExchangeGaugeHalos(env.World, u)
+		w := NewWilson(g, u, 0.08, env.World)
+		b := NewField(g)
+		b.Randomize(rng)
+		x := NewField(g)
+		it := SolveBiCGStab(w, x, b, 1e-5, 200)
+		if it >= 200 {
+			t.Errorf("BiCGStab did not converge")
+		}
+		mx := NewField(g)
+		w.Apply(mx, x)
+		g.forInterior(func(idx int) { mx.S[idx] = mx.S[idx].Sub(b.S[idx]) })
+		r := math.Sqrt(Norm2(env.World, mx) / Norm2(env.World, b))
+		if env.Rank() == 0 {
+			relResid = r
+		}
+	})
+	if relResid > 1e-3 {
+		t.Fatalf("BiCGStab residual %g too large", relResid)
+	}
+}

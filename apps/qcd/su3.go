@@ -1,0 +1,265 @@
+// Package qcd implements the paper's first application (§5.1): Lattice QCD
+// with the Wilson-Dslash operator and the CG / BiCGStab solvers built on
+// it.
+//
+// Two layers are provided:
+//
+//   - A real single-precision Wilson-Dslash kernel on a 4-D lattice with
+//     SU(3) gauge links and 4-spinor fields, domain-decomposed over MPI
+//     ranks with halo exchange (correctness-tested against the single-rank
+//     operator, and γ₅-hermiticity-tested so the solvers are sound).
+//
+//   - A workload model (workload.go) that reproduces the paper's scaling
+//     experiments (Table 1, Figs 9–12) at up to 2304 ranks by combining
+//     the real decomposition's message sizes and flop counts with the
+//     simulated cluster's communication.
+package qcd
+
+import "math/rand"
+
+// Nd is the number of space-time dimensions.
+const Nd = 4
+
+// Nc is the number of colors (SU(3)).
+const Nc = 3
+
+// Ns is the number of spinor components.
+const Ns = 4
+
+// SiteFlops is the standard flop count of one Wilson-Dslash site update
+// (single precision, full spinors): the figure used for reported FLOP/s.
+const SiteFlops = 1320
+
+// Vec3 is a color vector.
+type Vec3 [Nc]complex64
+
+// SU3 is a 3×3 complex matrix (a gauge link).
+type SU3 [Nc][Nc]complex64
+
+// Spinor is a 4-spinor: four color vectors.
+type Spinor [Ns]Vec3
+
+// SpinorBytes is the wire size of one full single-precision spinor.
+const SpinorBytes = Ns * Nc * 8
+
+// HalfSpinorBytes is the wire size of one spin-projected (rank-2) spinor —
+// what production Dslash implementations such as QPhiX actually ship per
+// boundary site; the workload model uses it for message sizing.
+const HalfSpinorBytes = 2 * Nc * 8
+
+// MulVec returns u·v.
+func (u *SU3) MulVec(v Vec3) Vec3 {
+	var r Vec3
+	for i := 0; i < Nc; i++ {
+		r[i] = u[i][0]*v[0] + u[i][1]*v[1] + u[i][2]*v[2]
+	}
+	return r
+}
+
+// MulAdjVec returns u†·v.
+func (u *SU3) MulAdjVec(v Vec3) Vec3 {
+	var r Vec3
+	for i := 0; i < Nc; i++ {
+		r[i] = conj(u[0][i])*v[0] + conj(u[1][i])*v[1] + conj(u[2][i])*v[2]
+	}
+	return r
+}
+
+func conj(c complex64) complex64 { return complex(real(c), -imag(c)) }
+
+// Add returns a+b.
+func (a Spinor) Add(b Spinor) Spinor {
+	for s := 0; s < Ns; s++ {
+		for c := 0; c < Nc; c++ {
+			a[s][c] += b[s][c]
+		}
+	}
+	return a
+}
+
+// Sub returns a-b.
+func (a Spinor) Sub(b Spinor) Spinor {
+	for s := 0; s < Ns; s++ {
+		for c := 0; c < Nc; c++ {
+			a[s][c] -= b[s][c]
+		}
+	}
+	return a
+}
+
+// Scale returns k·a.
+func (a Spinor) Scale(k complex64) Spinor {
+	for s := 0; s < Ns; s++ {
+		for c := 0; c < Nc; c++ {
+			a[s][c] *= k
+		}
+	}
+	return a
+}
+
+// Gamma holds the Dirac matrices in the DeGrand-Rossi basis, plus γ₅
+// (computed as γ₀γ₁γ₂γ₃). The Wilson hopping term applies (1 ∓ γ_μ).
+var Gamma [Nd][Ns][Ns]complex64
+
+// Gamma5 is γ₅ = γ₀γ₁γ₂γ₃.
+var Gamma5 [Ns][Ns]complex64
+
+func init() {
+	i := complex64(1i)
+	// DeGrand-Rossi basis (as in QDP++/Chroma), dims ordered x,y,z,t.
+	Gamma[0] = [Ns][Ns]complex64{
+		{0, 0, 0, i},
+		{0, 0, i, 0},
+		{0, -i, 0, 0},
+		{-i, 0, 0, 0},
+	}
+	Gamma[1] = [Ns][Ns]complex64{
+		{0, 0, 0, -1},
+		{0, 0, 1, 0},
+		{0, 1, 0, 0},
+		{-1, 0, 0, 0},
+	}
+	Gamma[2] = [Ns][Ns]complex64{
+		{0, 0, i, 0},
+		{0, 0, 0, -i},
+		{-i, 0, 0, 0},
+		{0, i, 0, 0},
+	}
+	Gamma[3] = [Ns][Ns]complex64{
+		{0, 0, 1, 0},
+		{0, 0, 0, 1},
+		{1, 0, 0, 0},
+		{0, 1, 0, 0},
+	}
+	Gamma5 = matMul4(matMul4(Gamma[0], Gamma[1]), matMul4(Gamma[2], Gamma[3]))
+}
+
+func matMul4(a, b [Ns][Ns]complex64) [Ns][Ns]complex64 {
+	var r [Ns][Ns]complex64
+	for i := 0; i < Ns; i++ {
+		for j := 0; j < Ns; j++ {
+			var s complex64
+			for k := 0; k < Ns; k++ {
+				s += a[i][k] * b[k][j]
+			}
+			r[i][j] = s
+		}
+	}
+	return r
+}
+
+// applySpinMatrix returns m·ψ (spin indices only; color is untouched).
+func applySpinMatrix(m *[Ns][Ns]complex64, psi *Spinor) Spinor {
+	var r Spinor
+	for s := 0; s < Ns; s++ {
+		for t := 0; t < Ns; t++ {
+			k := m[s][t]
+			if k == 0 {
+				continue
+			}
+			for c := 0; c < Nc; c++ {
+				r[s][c] += k * psi[t][c]
+			}
+		}
+	}
+	return r
+}
+
+// MulGamma5 returns γ₅·ψ.
+func MulGamma5(psi Spinor) Spinor { return applySpinMatrix(&Gamma5, &psi) }
+
+// projMinus returns (1-γ_μ)·ψ, projPlus returns (1+γ_μ)·ψ.
+func projMinus(mu int, psi *Spinor) Spinor {
+	r := applySpinMatrix(&Gamma[mu], psi)
+	var out Spinor
+	for s := 0; s < Ns; s++ {
+		for c := 0; c < Nc; c++ {
+			out[s][c] = psi[s][c] - r[s][c]
+		}
+	}
+	return out
+}
+
+func projPlus(mu int, psi *Spinor) Spinor {
+	r := applySpinMatrix(&Gamma[mu], psi)
+	var out Spinor
+	for s := 0; s < Ns; s++ {
+		for c := 0; c < Nc; c++ {
+			out[s][c] = psi[s][c] + r[s][c]
+		}
+	}
+	return out
+}
+
+// mulLink applies u to every spin component of ψ.
+func mulLink(u *SU3, psi Spinor) Spinor {
+	var r Spinor
+	for s := 0; s < Ns; s++ {
+		r[s] = u.MulVec(psi[s])
+	}
+	return r
+}
+
+// mulLinkAdj applies u† to every spin component of ψ.
+func mulLinkAdj(u *SU3, psi Spinor) Spinor {
+	var r Spinor
+	for s := 0; s < Ns; s++ {
+		r[s] = u.MulAdjVec(psi[s])
+	}
+	return r
+}
+
+// RandomSU3 returns a (Gram-Schmidt unitarized) pseudo-random SU(3) matrix
+// from rng — deterministic for a fixed seed.
+func RandomSU3(rng *rand.Rand) SU3 {
+	var u SU3
+	for i := 0; i < Nc; i++ {
+		for j := 0; j < Nc; j++ {
+			u[i][j] = complex(float32(rng.Float64()*2-1), float32(rng.Float64()*2-1))
+		}
+	}
+	// Gram-Schmidt on rows.
+	for i := 0; i < Nc; i++ {
+		for k := 0; k < i; k++ {
+			var dot complex64
+			for j := 0; j < Nc; j++ {
+				dot += conj(u[k][j]) * u[i][j]
+			}
+			for j := 0; j < Nc; j++ {
+				u[i][j] -= dot * u[k][j]
+			}
+		}
+		var norm float32
+		for j := 0; j < Nc; j++ {
+			norm += real(u[i][j])*real(u[i][j]) + imag(u[i][j])*imag(u[i][j])
+		}
+		inv := complex(1/sqrt32(norm), 0)
+		for j := 0; j < Nc; j++ {
+			u[i][j] *= inv
+		}
+	}
+	return u
+}
+
+func sqrt32(x float32) float32 {
+	if x <= 0 {
+		return 0
+	}
+	// Newton iterations are plenty at float32 precision.
+	y := x
+	for i := 0; i < 24; i++ {
+		y = 0.5 * (y + x/y)
+	}
+	return y
+}
+
+// RandomSpinor returns a pseudo-random spinor from rng.
+func RandomSpinor(rng *rand.Rand) Spinor {
+	var s Spinor
+	for sp := 0; sp < Ns; sp++ {
+		for c := 0; c < Nc; c++ {
+			s[sp][c] = complex(float32(rng.Float64()*2-1), float32(rng.Float64()*2-1))
+		}
+	}
+	return s
+}

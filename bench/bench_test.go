@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"testing"
+
+	"mpioffload/internal/model"
+	"mpioffload/sim"
+)
+
+var quickSizes = []int{8, 4 << 10, 512 << 10}
+
+func TestOverlapP2PShapes(t *testing.T) {
+	base := OverlapP2P(sim.Config{Approach: sim.Baseline}, quickSizes, 3)
+	off := OverlapP2P(sim.Config{Approach: sim.Offload}, quickSizes, 3)
+	if len(base) != len(quickSizes) {
+		t.Fatalf("rows %d", len(base))
+	}
+	for i, r := range base {
+		if r.Size != quickSizes[i] || r.CommNs <= 0 {
+			t.Fatalf("bad row %+v", r)
+		}
+		for _, p := range []float64{r.PostPct, r.OverlapPct, r.WaitPct} {
+			if p < 0 || p > 100 {
+				t.Fatalf("percentage out of range: %+v", r)
+			}
+		}
+	}
+	// Paper Fig 2: baseline overlap collapses beyond the eager threshold;
+	// offload stays ≥ 85%.
+	if base[2].OverlapPct > 10 {
+		t.Errorf("baseline rendezvous overlap %v%%, want ≈0", base[2].OverlapPct)
+	}
+	for _, r := range off {
+		if r.OverlapPct < 75 {
+			t.Errorf("offload overlap %v%% at %d, want high", r.OverlapPct, r.Size)
+		}
+	}
+}
+
+func TestIsendPostTimeShapes(t *testing.T) {
+	base := IsendPostTime(sim.Config{Approach: sim.Baseline}, quickSizes, 5)
+	off := IsendPostTime(sim.Config{Approach: sim.Offload}, quickSizes, 5)
+	// Fig 4: baseline grows with size up to the threshold then drops;
+	// offload is constant at the enqueue cost.
+	if !(base[0].PostNs < base[1].PostNs) {
+		t.Errorf("baseline post not growing: %+v", base)
+	}
+	if base[2].PostNs > base[1].PostNs {
+		t.Errorf("baseline rendezvous post should be below eager max: %+v", base)
+	}
+	e := model.Endeavor().EnqueueCost
+	for _, r := range off {
+		if r.PostNs != e {
+			t.Errorf("offload post %v at %d, want constant %v", r.PostNs, r.Size, e)
+		}
+	}
+}
+
+func TestOSULatencyOrdering(t *testing.T) {
+	sizes := []int{8}
+	b := OSULatency(sim.Config{Approach: sim.Baseline}, sizes, 10)[0].LatencyNs
+	c := OSULatency(sim.Config{Approach: sim.CommSelf}, sizes, 10)[0].LatencyNs
+	o := OSULatency(sim.Config{Approach: sim.Offload}, sizes, 10)[0].LatencyNs
+	if !(b < o && o < c) {
+		t.Fatalf("latency ordering wrong: base=%v offload=%v comm-self=%v", b, o, c)
+	}
+	if o-b > 500 {
+		t.Errorf("offload overhead %v ns, paper reports ≈300 ns", o-b)
+	}
+	if c-b < 3000 {
+		t.Errorf("comm-self overhead %v ns, paper reports ≈11 µs", c-b)
+	}
+}
+
+func TestOSUBandwidthCommSelfDip(t *testing.T) {
+	sizes := []int{32 << 10, 2 << 20}
+	b := OSUBandwidth(sim.Config{Approach: sim.Baseline}, sizes, 16, 2)
+	c := OSUBandwidth(sim.Config{Approach: sim.CommSelf}, sizes, 16, 2)
+	// Fig 7b: comm-self loses ~half the bandwidth in the mid-size band,
+	// but recovers for large (rendezvous) messages.
+	if c[0].GBps > 0.8*b[0].GBps {
+		t.Errorf("comm-self mid-size bandwidth %v vs baseline %v: dip missing", c[0].GBps, b[0].GBps)
+	}
+	if c[1].GBps < 0.85*b[1].GBps {
+		t.Errorf("comm-self large-message bandwidth should recover: %v vs %v", c[1].GBps, b[1].GBps)
+	}
+}
+
+func TestMTLatencyScaling(t *testing.T) {
+	// Fig 6: locked approaches degrade with thread count; offload stays flat.
+	lat := func(a sim.Approach, threads int) float64 {
+		return OSUMultithreadedLatency(sim.Config{Approach: a}, threads, []int{8}, 5)[0].LatencyNs
+	}
+	b2, b8 := lat(sim.Baseline, 2), lat(sim.Baseline, 8)
+	o2, o8 := lat(sim.Offload, 2), lat(sim.Offload, 8)
+	if b8 < 4*b2 {
+		t.Errorf("baseline MT latency should blow up: %v -> %v", b2, b8)
+	}
+	if o8 > 3*o2 {
+		t.Errorf("offload MT latency should stay nearly flat: %v -> %v", o2, o8)
+	}
+	if o8 > b8/5 {
+		t.Errorf("offload at 8 threads (%v) should be far below baseline (%v)", o8, b8)
+	}
+}
+
+func TestCollOverlapAndPost(t *testing.T) {
+	kinds := []string{"ibarrier", "iallreduce", "ialltoall"}
+	ov := OverlapColl(sim.Config{Approach: sim.Offload}, 8, kinds, 8, 3)
+	for _, r := range ov {
+		if r.OverlapPct < 60 {
+			t.Errorf("offload %s overlap %v%%, want high", r.Coll, r.OverlapPct)
+		}
+		if r.PureNs <= 0 {
+			t.Errorf("bad pure time %+v", r)
+		}
+	}
+	post := CollPostTime(sim.Config{Approach: sim.Offload}, 8, kinds, 8, 3)
+	e := model.Endeavor().EnqueueCost
+	for _, r := range post {
+		if r.PostNs != e {
+			t.Errorf("offload %s post %v, want %v", r.Coll, r.PostNs, e)
+		}
+	}
+}
+
+func TestInterNodeForcesDistinctNodes(t *testing.T) {
+	cfg := interNode(sim.Config{})
+	if cfg.Profile.RanksPerNode != 1 {
+		t.Fatal("interNode must pin one rank per node")
+	}
+	// The original default profile is not mutated.
+	if model.Endeavor().RanksPerNode != 2 {
+		t.Fatal("interNode mutated the shared profile")
+	}
+}

@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTablePrint(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.Add("alpha", 1.5)
+	tb.Add("beta", 12345.678)
+	var sb strings.Builder
+	tb.Print(&sb)
+	out := sb.String()
+	for _, want := range []string{"== Demo ==", "name", "value", "alpha", "1.500", "beta", "12346"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Errorf("want 5 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	tb.Add("r1", 2)
+	var sb strings.Builder
+	tb.CSV(&sb)
+	if got := sb.String(); got != "a,b\nr1,2\n" {
+		t.Errorf("csv = %q", got)
+	}
+}
+
+func TestSizeLabel(t *testing.T) {
+	for _, tc := range []struct {
+		in   int
+		want string
+	}{
+		{8, "8"}, {1023, "1023"}, {1024, "1K"}, {8192, "8K"},
+		{128 << 10, "128K"}, {1 << 20, "1M"}, {4 << 20, "4M"}, {1500, "1500"},
+	} {
+		if got := SizeLabel(tc.in); got != tc.want {
+			t.Errorf("SizeLabel(%d) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestUs(t *testing.T) {
+	if got := Us(1500); got != "1.50" {
+		t.Errorf("Us(1500) = %q", got)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	for _, tc := range []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"}, {1.23456, "1.235"}, {45.678, "45.7"}, {12345.6, "12346"},
+	} {
+		if got := formatFloat(tc.in); got != tc.want {
+			t.Errorf("formatFloat(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// Command cnnbench regenerates the paper's Fig 14: hybrid-parallel deep
+// learning CNN training performance (data-parallel convolutional stack
+// with overlappable weight-gradient all-reduces, model-parallel
+// fully-connected stack with synchronous all-to-alls) across approaches
+// and node counts on the Endeavor Xeon cluster.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpioffload/apps/cnn"
+	"mpioffload/bench"
+	"mpioffload/internal/model"
+	"mpioffload/sim"
+)
+
+func main() {
+	iters := flag.Int("iters", 3, "measured iterations")
+	csv := flag.Bool("csv", false, "emit CSV")
+	flag.Parse()
+
+	cfg := cnn.VGGLike()
+	apps := []sim.Approach{sim.Baseline, sim.Iprobe, sim.CommSelf, sim.Offload}
+	t := bench.NewTable("Fig 14: CNN hybrid-parallel training (images/s), minibatch 256, Endeavor",
+		"nodes", "baseline", "iprobe", "comm-self", "offload", "offload/baseline")
+	for _, nodes := range []int{1, 2, 4, 8, 16, 32, 64} {
+		row := []any{nodes}
+		var base, off float64
+		for _, a := range apps {
+			p := model.Endeavor()
+			var per float64
+			sim.Run(sim.Config{Ranks: nodes * p.RanksPerNode, Approach: a, Profile: p}, func(env *sim.Env) {
+				r := cnn.RunHybrid(env, cfg, 2, *iters)
+				if env.Rank() == 0 {
+					per = r
+				}
+			})
+			ips := cnn.ImagesPerSec(cfg, per)
+			row = append(row, fmt.Sprintf("%.1f", ips))
+			switch a {
+			case sim.Baseline:
+				base = per
+			case sim.Offload:
+				off = per
+			}
+		}
+		row = append(row, fmt.Sprintf("%.2f", base/off))
+		t.Add(row...)
+	}
+	if *csv {
+		t.CSV(os.Stdout)
+	} else {
+		t.Print(os.Stdout)
+	}
+}

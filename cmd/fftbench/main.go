@@ -1,0 +1,107 @@
+// Command fftbench regenerates the paper's FFT experiments:
+//
+//	-exp=table2  Table 2 — pipelined 1-D FFT time split on the Xeon Phi
+//	             cluster, 2–32 nodes, 2^25 points/node, baseline vs offload
+//	-exp=fig13a  Fig 13a — weak scaling on Xeon, 2^29 points/node
+//	-exp=fig13b  Fig 13b — weak scaling on Xeon Phi, 2^25 points/node
+//	             (no comm-self: MPI_THREAD_MULTIPLE unsupported there)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mpioffload/apps/fft"
+	"mpioffload/bench"
+	"mpioffload/internal/model"
+	"mpioffload/sim"
+)
+
+func main() {
+	exp := flag.String("exp", "table2", "table2 | fig13a | fig13b")
+	iters := flag.Int("iters", 2, "measured iterations")
+	segments := flag.Int("segments", 8, "pipeline segments (SOI)")
+	csv := flag.Bool("csv", false, "emit CSV")
+	flag.Parse()
+
+	switch *exp {
+	case "table2":
+		table2(*iters, *segments, *csv)
+	case "fig13a":
+		fig13(model.Endeavor(), 1<<29, []int{2, 4, 8, 16, 32, 64, 128, 256},
+			[]sim.Approach{sim.Baseline, sim.Iprobe, sim.CommSelf, sim.Offload}, *iters, *segments, *csv)
+	case "fig13b":
+		fig13(model.EndeavorPhi(), 1<<25, []int{1, 2, 4, 8, 16, 32, 64},
+			[]sim.Approach{sim.Baseline, sim.Iprobe, sim.Offload}, *iters, *segments, *csv)
+	default:
+		log.Fatalf("unknown -exp=%s", *exp)
+	}
+}
+
+func runSplit(prof *model.Profile, a sim.Approach, nodes, perNode, segments, iters int) fft.Split {
+	p := *prof
+	ranks := nodes * p.RanksPerNode
+	points := perNode / p.RanksPerNode
+	var sp fft.Split
+	sim.Run(sim.Config{Ranks: ranks, Approach: a, Profile: &p}, func(env *sim.Env) {
+		r := fft.RunPipelined(env, points, segments, 1, iters)
+		if env.Rank() == 0 {
+			sp = r
+		}
+	})
+	return sp
+}
+
+func table2(iters, segments int, csv bool) {
+	prof := model.EndeavorPhi()
+	t := bench.NewTable("Table 2: FFT time split, 2^25 points/node, Xeon Phi cluster (ms)",
+		"nodes",
+		"base.internal", "base.post", "base.wait", "base.misc", "base.total",
+		"off.internal", "off.post", "off.wait", "off.misc", "off.total",
+		"compute.slowdown%", "post.reduction%", "wait.reduction%")
+	for _, nodes := range []int{2, 4, 8, 16, 32} {
+		b := runSplit(prof, sim.Baseline, nodes, 1<<25, segments, iters)
+		o := runSplit(prof, sim.Offload, nodes, 1<<25, segments, iters)
+		ms := func(ns float64) string { return fmt.Sprintf("%.3f", ns/1e6) }
+		t.Add(nodes,
+			ms(b.Internal), ms(b.Post), ms(b.Wait), ms(b.Misc), ms(b.Total),
+			ms(o.Internal), ms(o.Post), ms(o.Wait), ms(o.Misc), ms(o.Total),
+			fmt.Sprintf("%.1f", 100*(o.Internal/b.Internal-1)),
+			fmt.Sprintf("%.1f", 100*(1-o.Post/b.Post)),
+			fmt.Sprintf("%.1f", 100*(1-o.Wait/b.Wait)))
+	}
+	emit(t, csv)
+}
+
+func fig13(prof *model.Profile, perNode int, nodeCounts []int, apps []sim.Approach, iters, segments int, csv bool) {
+	t := bench.NewTable(
+		fmt.Sprintf("Fig 13 (%s): 1-D FFT weak scaling, %d points/node (GFLOP/s)", prof.Name, perNode),
+		append([]string{"nodes"}, names(apps)...)...)
+	for _, nodes := range nodeCounts {
+		row := []any{nodes}
+		for _, a := range apps {
+			sp := runSplit(prof, a, nodes, perNode, segments, iters)
+			row = append(row, fmt.Sprintf("%.1f", fft.Gflops(perNode*nodes, sp.Total)))
+		}
+		t.Add(row...)
+	}
+	emit(t, csv)
+}
+
+func names(apps []sim.Approach) []string {
+	out := make([]string, len(apps))
+	for i, a := range apps {
+		out[i] = a.String()
+	}
+	return out
+}
+
+func emit(t *bench.Table, csv bool) {
+	if csv {
+		t.CSV(os.Stdout)
+	} else {
+		t.Print(os.Stdout)
+	}
+}

@@ -1,0 +1,49 @@
+// Command mtbench regenerates the paper's Fig 6: the OSU multithreaded
+// latency benchmark under MPI_THREAD_MULTIPLE with 2, 4 and 8 thread
+// pairs per rank, comparing baseline, comm-self and offload.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mpioffload/bench"
+	"mpioffload/internal/model"
+	"mpioffload/sim"
+)
+
+func main() {
+	profile := flag.String("profile", "endeavor", "endeavor | phi | edison")
+	iters := flag.Int("iters", 20, "measured iterations")
+	csv := flag.Bool("csv", false, "emit CSV")
+	flag.Parse()
+
+	prof, err := model.ByName(*profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sizes := []int{8, 64, 512, 4 << 10, 32 << 10}
+	apps := []sim.Approach{sim.Baseline, sim.CommSelf, sim.Offload}
+
+	for _, threads := range []int{2, 4, 8} {
+		t := bench.NewTable(
+			fmt.Sprintf("Fig 6: OSU multithreaded latency (µs), %d thread pairs, %s", threads, prof.Name),
+			"size", "baseline", "comm-self", "offload")
+		cols := make([][]bench.MTLatencyResult, len(apps))
+		for i, a := range apps {
+			p := *prof
+			cols[i] = bench.OSUMultithreadedLatency(sim.Config{Approach: a, Profile: &p}, threads, sizes, *iters)
+		}
+		for r, sz := range sizes {
+			t.Add(bench.SizeLabel(sz),
+				bench.Us(cols[0][r].LatencyNs), bench.Us(cols[1][r].LatencyNs), bench.Us(cols[2][r].LatencyNs))
+		}
+		if *csv {
+			t.CSV(os.Stdout)
+		} else {
+			t.Print(os.Stdout)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Command osubench regenerates the paper's OSU-microbenchmark figures:
+//
+//	-test=isend      Fig 4  — nonblocking MPI_Isend post time vs size
+//	-test=latency    Fig 7a/8a — OSU one-way latency
+//	-test=bandwidth  Fig 7b/8b — OSU unidirectional bandwidth
+//	-test=icoll      Fig 5  — nonblocking collective call latency
+//
+// Select the platform with -profile=endeavor|phi|edison (Figs 7 vs 8) and
+// the approaches with -approaches.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"mpioffload/bench"
+	"mpioffload/internal/model"
+	"mpioffload/sim"
+)
+
+func main() {
+	test := flag.String("test", "latency", "isend | latency | bandwidth | icoll")
+	profile := flag.String("profile", "endeavor", "endeavor | phi | edison")
+	approaches := flag.String("approaches", "baseline,comm-self,offload", "comma-separated approach list")
+	ranks := flag.Int("ranks", 16, "ranks for collective tests (Fig 5: 16 nodes)")
+	size := flag.Int("size", 8, "payload size for icoll (Fig 5a: 8, Fig 5b: 8192)")
+	iters := flag.Int("iters", 20, "measured iterations")
+	csv := flag.Bool("csv", false, "emit CSV instead of a text table")
+	flag.Parse()
+
+	apps, err := parseApproaches(*approaches)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof, err := model.ByName(*profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	switch *test {
+	case "isend":
+		t := bench.NewTable(fmt.Sprintf("Fig 4: MPI_Isend post time (µs), %s", prof.Name),
+			append([]string{"size"}, names(apps)...)...)
+		cols := make([][]bench.PostTimeResult, len(apps))
+		for i, a := range apps {
+			cols[i] = bench.IsendPostTime(sim.Config{Approach: a, Profile: clone(prof)}, bench.DefaultSizes, *iters)
+		}
+		for r, sz := range bench.DefaultSizes {
+			row := []any{bench.SizeLabel(sz)}
+			for i := range apps {
+				row = append(row, bench.Us(cols[i][r].PostNs))
+			}
+			t.Add(row...)
+		}
+		emit(t, *csv)
+
+	case "latency":
+		t := bench.NewTable(fmt.Sprintf("Fig 7a/8a: OSU one-way latency (µs), %s", prof.Name),
+			append([]string{"size"}, names(apps)...)...)
+		cols := make([][]bench.LatencyResult, len(apps))
+		for i, a := range apps {
+			cols[i] = bench.OSULatency(sim.Config{Approach: a, Profile: clone(prof)}, bench.DefaultSizes, *iters)
+		}
+		for r, sz := range bench.DefaultSizes {
+			row := []any{bench.SizeLabel(sz)}
+			for i := range apps {
+				row = append(row, bench.Us(cols[i][r].LatencyNs))
+			}
+			t.Add(row...)
+		}
+		emit(t, *csv)
+
+	case "bandwidth":
+		t := bench.NewTable(fmt.Sprintf("Fig 7b/8b: OSU bandwidth (GB/s), %s", prof.Name),
+			append([]string{"size"}, names(apps)...)...)
+		cols := make([][]bench.BandwidthResult, len(apps))
+		for i, a := range apps {
+			cols[i] = bench.OSUBandwidth(sim.Config{Approach: a, Profile: clone(prof)}, bench.DefaultSizes, 64, 4)
+		}
+		for r, sz := range bench.DefaultSizes {
+			row := []any{bench.SizeLabel(sz)}
+			for i := range apps {
+				row = append(row, fmt.Sprintf("%.2f", cols[i][r].GBps))
+			}
+			t.Add(row...)
+		}
+		emit(t, *csv)
+
+	case "icoll":
+		t := bench.NewTable(fmt.Sprintf("Fig 5: nonblocking collective call time (µs), %d B on %d ranks, %s", *size, *ranks, prof.Name),
+			append([]string{"collective"}, names(apps)...)...)
+		cols := make([][]bench.CollPostResult, len(apps))
+		for i, a := range apps {
+			cols[i] = bench.CollPostTime(sim.Config{Approach: a, Profile: clone(prof)}, *ranks, bench.CollKinds, *size, *iters)
+		}
+		for r, kind := range bench.CollKinds {
+			row := []any{kind}
+			for i := range apps {
+				row = append(row, bench.Us(cols[i][r].PostNs))
+			}
+			t.Add(row...)
+		}
+		emit(t, *csv)
+
+	default:
+		log.Fatalf("unknown -test=%s", *test)
+	}
+}
+
+func parseApproaches(s string) ([]sim.Approach, error) {
+	var out []sim.Approach
+	for _, part := range strings.Split(s, ",") {
+		switch strings.TrimSpace(part) {
+		case "baseline":
+			out = append(out, sim.Baseline)
+		case "iprobe":
+			out = append(out, sim.Iprobe)
+		case "comm-self", "commself":
+			out = append(out, sim.CommSelf)
+		case "offload":
+			out = append(out, sim.Offload)
+		case "core-spec", "corespec":
+			out = append(out, sim.CoreSpec)
+		default:
+			return nil, fmt.Errorf("unknown approach %q", part)
+		}
+	}
+	return out, nil
+}
+
+func names(apps []sim.Approach) []string {
+	out := make([]string, len(apps))
+	for i, a := range apps {
+		out[i] = a.String()
+	}
+	return out
+}
+
+func clone(p *model.Profile) *model.Profile {
+	c := *p
+	return &c
+}
+
+func emit(t *bench.Table, csv bool) {
+	if csv {
+		t.CSV(os.Stdout)
+	} else {
+		t.Print(os.Stdout)
+	}
+}

@@ -1,0 +1,81 @@
+// Command overlapbench regenerates the paper's compute-communication
+// overlap figures:
+//
+//	-kind=p2p   Fig 2 — post/overlap/wait % of communication time for
+//	            nonblocking point-to-point, per message size and approach
+//	-kind=coll  Fig 3 — overlap % for nonblocking collectives on 16 ranks
+//	            (-size=8 for Fig 3a, -size=16384 for Fig 3b)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mpioffload/bench"
+	"mpioffload/internal/model"
+	"mpioffload/sim"
+)
+
+func main() {
+	kind := flag.String("kind", "p2p", "p2p | coll")
+	profile := flag.String("profile", "endeavor", "endeavor | phi | edison")
+	ranks := flag.Int("ranks", 16, "ranks for -kind=coll")
+	size := flag.Int("size", 8, "payload size for -kind=coll (Fig 3a: 8, 3b: 16384)")
+	iters := flag.Int("iters", 10, "measured iterations")
+	csv := flag.Bool("csv", false, "emit CSV")
+	flag.Parse()
+
+	prof, err := model.ByName(*profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	apps := []sim.Approach{sim.Baseline, sim.CommSelf, sim.Offload}
+
+	switch *kind {
+	case "p2p":
+		t := bench.NewTable(fmt.Sprintf("Fig 2: p2p compute-communication overlap (%% of comm time), %s", prof.Name),
+			"size", "metric", "baseline", "comm-self", "offload")
+		cols := make([][]bench.OverlapResult, len(apps))
+		for i, a := range apps {
+			p := *prof
+			cols[i] = bench.OverlapP2P(sim.Config{Approach: a, Profile: &p}, bench.DefaultSizes, *iters)
+		}
+		for r, sz := range bench.DefaultSizes {
+			t.Add(bench.SizeLabel(sz), "post%",
+				f1(cols[0][r].PostPct), f1(cols[1][r].PostPct), f1(cols[2][r].PostPct))
+			t.Add(bench.SizeLabel(sz), "overlap%",
+				f1(cols[0][r].OverlapPct), f1(cols[1][r].OverlapPct), f1(cols[2][r].OverlapPct))
+			t.Add(bench.SizeLabel(sz), "wait%",
+				f1(cols[0][r].WaitPct), f1(cols[1][r].WaitPct), f1(cols[2][r].WaitPct))
+		}
+		emit(t, *csv)
+
+	case "coll":
+		t := bench.NewTable(fmt.Sprintf("Fig 3: collective overlap %% at %d B on %d ranks, %s", *size, *ranks, prof.Name),
+			"collective", "baseline", "comm-self", "offload")
+		cols := make([][]bench.CollOverlapResult, len(apps))
+		for i, a := range apps {
+			p := *prof
+			cols[i] = bench.OverlapColl(sim.Config{Approach: a, Profile: &p}, *ranks, bench.CollKinds, *size, *iters)
+		}
+		for r, k := range bench.CollKinds {
+			t.Add(k, f1(cols[0][r].OverlapPct), f1(cols[1][r].OverlapPct), f1(cols[2][r].OverlapPct))
+		}
+		emit(t, *csv)
+
+	default:
+		log.Fatalf("unknown -kind=%s", *kind)
+	}
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+func emit(t *bench.Table, csv bool) {
+	if csv {
+		t.CSV(os.Stdout)
+	} else {
+		t.Print(os.Stdout)
+	}
+}

@@ -1,0 +1,188 @@
+// Command qcdbench regenerates the paper's QCD experiments:
+//
+//	-exp=table1  Table 1 — Dslash per-iteration time split (32³×256,
+//	             Endeavor), baseline vs offload, 8–256 nodes
+//	-exp=fig9a   Fig 9a — Dslash strong scaling TFLOP/s on Endeavor for
+//	             32³×256 and 48³×512, all approaches
+//	-exp=fig9b   Fig 9b — Dslash strong scaling on Edison incl. core-spec
+//	-exp=fig10   Fig 10 — Dslash timing split fractions, Xeon and Phi
+//	-exp=fig11   Fig 11 — full solver (CG) TFLOP/s
+//	-exp=fig12   Fig 12 — Dslash with thread groups (MPI_THREAD_MULTIPLE)
+//	             relative to funneled, per approach
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mpioffload/apps/qcd"
+	"mpioffload/bench"
+	"mpioffload/internal/model"
+	"mpioffload/sim"
+)
+
+var small = [qcd.Nd]int{32, 32, 32, 256}
+var large = [qcd.Nd]int{48, 48, 48, 512}
+
+func main() {
+	exp := flag.String("exp", "table1", "table1 | fig9a | fig9b | fig10 | fig11 | fig12")
+	iters := flag.Int("iters", 4, "measured iterations")
+	csv := flag.Bool("csv", false, "emit CSV")
+	flag.Parse()
+
+	switch *exp {
+	case "table1":
+		table1(*iters, *csv)
+	case "fig9a":
+		fig9(model.Endeavor(), []int{8, 16, 32, 64, 128, 256},
+			[]sim.Approach{sim.Baseline, sim.Iprobe, sim.CommSelf, sim.Offload}, *iters, *csv)
+	case "fig9b":
+		fig9(model.Edison(), []int{16, 32, 64, 128, 256},
+			[]sim.Approach{sim.Baseline, sim.Iprobe, sim.CommSelf, sim.CoreSpec, sim.Offload}, *iters, *csv)
+	case "fig10":
+		fig10(*iters, *csv)
+	case "fig11":
+		fig11(*iters, *csv)
+	case "fig12":
+		fig12(*iters, *csv)
+	default:
+		log.Fatalf("unknown -exp=%s", *exp)
+	}
+}
+
+// run executes the Dslash model on nodes×RanksPerNode ranks and returns
+// rank 0's time split.
+func runSplit(prof *model.Profile, a sim.Approach, nodes int, L [qcd.Nd]int, level sim.ThreadLevel, iters int) qcd.TimeSplit {
+	var ts qcd.TimeSplit
+	p := *prof
+	cfg := sim.Config{Ranks: nodes * p.RanksPerNode, Approach: a, Profile: &p, ThreadLevel: level}
+	sim.Run(cfg, func(env *sim.Env) {
+		r := qcd.RunDslash(env, L, 1, iters)
+		if env.Rank() == 0 {
+			ts = r
+		}
+	})
+	return ts
+}
+
+func table1(iters int, csv bool) {
+	t := bench.NewTable("Table 1: QCD Dslash time split per iteration, 32³×256, Endeavor (µs)",
+		"nodes",
+		"base.internal", "base.post", "base.wait", "base.misc", "base.total",
+		"off.internal", "off.post", "off.wait", "off.misc", "off.total",
+		"compute.slowdown%", "post.reduction%", "wait.reduction%")
+	for _, nodes := range []int{8, 16, 32, 64, 128, 256} {
+		b := runSplit(model.Endeavor(), sim.Baseline, nodes, small, sim.Funneled, iters)
+		o := runSplit(model.Endeavor(), sim.Offload, nodes, small, sim.Funneled, iters)
+		t.Add(nodes,
+			bench.Us(b.Internal), bench.Us(b.Post), bench.Us(b.Wait), bench.Us(b.Misc), bench.Us(b.Total),
+			bench.Us(o.Internal), bench.Us(o.Post), bench.Us(o.Wait), bench.Us(o.Misc), bench.Us(o.Total),
+			fmt.Sprintf("%.1f", 100*(o.Internal/b.Internal-1)),
+			fmt.Sprintf("%.1f", 100*(1-o.Post/b.Post)),
+			fmt.Sprintf("%.1f", 100*(1-o.Wait/b.Wait)))
+	}
+	emit(t, csv)
+}
+
+func fig9(prof *model.Profile, nodeCounts []int, apps []sim.Approach, iters int, csv bool) {
+	for _, L := range [][qcd.Nd]int{small, large} {
+		t := bench.NewTable(
+			fmt.Sprintf("Fig 9 (%s): Wilson-Dslash strong scaling, %dx%dx%dx%d lattice (TFLOP/s)",
+				prof.Name, L[0], L[1], L[2], L[3]),
+			append([]string{"nodes"}, names(apps)...)...)
+		for _, nodes := range nodeCounts {
+			row := []any{nodes}
+			for _, a := range apps {
+				ts := runSplit(prof, a, nodes, L, sim.Funneled, iters)
+				row = append(row, fmt.Sprintf("%.2f", qcd.Tflops(L, ts.Total)))
+			}
+			t.Add(row...)
+		}
+		emit(t, csv)
+	}
+}
+
+func fig10(iters int, csv bool) {
+	for _, pf := range []*model.Profile{model.Endeavor(), model.EndeavorPhi()} {
+		t := bench.NewTable(
+			fmt.Sprintf("Fig 10: Wilson-Dslash timing split (%% of total), 32³×256, %s", pf.Name),
+			"nodes", "approach", "compute%", "wait%", "misc%")
+		for _, nodes := range []int{16, 64, 256} {
+			for _, a := range []sim.Approach{sim.Baseline, sim.Offload} {
+				ts := runSplit(pf, a, nodes, small, sim.Funneled, iters)
+				t.Add(nodes, a.String(),
+					fmt.Sprintf("%.1f", 100*(ts.Internal+ts.Post)/ts.Total),
+					fmt.Sprintf("%.1f", 100*ts.Wait/ts.Total),
+					fmt.Sprintf("%.1f", 100*ts.Misc/ts.Total))
+			}
+		}
+		emit(t, csv)
+	}
+}
+
+func fig11(iters int, csv bool) {
+	apps := []sim.Approach{sim.Baseline, sim.Iprobe, sim.CommSelf, sim.Offload}
+	t := bench.NewTable("Fig 11: QCD solver (CG) performance, 32³×256, Endeavor (TFLOP/s)",
+		append([]string{"nodes"}, names(apps)...)...)
+	for _, nodes := range []int{8, 16, 32, 64, 128, 256} {
+		row := []any{nodes}
+		for _, a := range apps {
+			p := model.Endeavor()
+			var per float64
+			sim.Run(sim.Config{Ranks: nodes * p.RanksPerNode, Approach: a, Profile: p}, func(env *sim.Env) {
+				r := qcd.RunSolver(env, small, 1, iters)
+				if env.Rank() == 0 {
+					per = r
+				}
+			})
+			row = append(row, fmt.Sprintf("%.2f", qcd.SolverTflops(small, per)))
+		}
+		t.Add(row...)
+	}
+	emit(t, csv)
+}
+
+func fig12(iters int, csv bool) {
+	apps := []sim.Approach{sim.Baseline, sim.Iprobe, sim.CommSelf, sim.Offload}
+	t := bench.NewTable("Fig 12: Dslash with thread groups + MPI_THREAD_MULTIPLE, relative to funneled (32³×256, Endeavor)",
+		append([]string{"nodes"}, names(apps)...)...)
+	for _, nodes := range []int{32, 64, 128} {
+		row := []any{nodes}
+		for _, a := range apps {
+			p := model.Endeavor()
+			ranks := nodes * p.RanksPerNode
+			// Funneled reference.
+			ref := runSplit(p, a, nodes, small, sim.Funneled, iters)
+			// Thread-group version under MPI_THREAD_MULTIPLE.
+			var tg float64
+			pp := *p
+			sim.Run(sim.Config{Ranks: ranks, Approach: a, Profile: &pp, ThreadLevel: sim.Multiple}, func(env *sim.Env) {
+				r := qcd.RunDslashThreadGroups(env, small, 4, 1, iters)
+				if env.Rank() == 0 {
+					tg = r
+				}
+			})
+			row = append(row, fmt.Sprintf("%.3f", ref.Total/tg))
+		}
+		t.Add(row...)
+	}
+	emit(t, csv)
+}
+
+func names(apps []sim.Approach) []string {
+	out := make([]string, len(apps))
+	for i, a := range apps {
+		out[i] = a.String()
+	}
+	return out
+}
+
+func emit(t *bench.Table, csv bool) {
+	if csv {
+		t.CSV(os.Stdout)
+	} else {
+		t.Print(os.Stdout)
+	}
+}

@@ -1,0 +1,67 @@
+// Command runall regenerates every table and figure of the paper in one
+// run (the data recorded in EXPERIMENTS.md). Expect several minutes for
+// the full set; use -quick for a reduced sweep.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"time"
+)
+
+type step struct {
+	name string
+	args []string
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced node counts / iterations")
+	flag.Parse()
+
+	iters := "3"
+	fftIters := "2"
+	if *quick {
+		iters, fftIters = "2", "1"
+	}
+
+	steps := []step{
+		{"Fig 2 (p2p overlap)", []string{"run", "./cmd/overlapbench", "-kind=p2p", "-iters=6"}},
+		{"Fig 3a (collective overlap, 8 B)", []string{"run", "./cmd/overlapbench", "-kind=coll", "-size=8", "-iters=5"}},
+		{"Fig 3b (collective overlap, 16 KB)", []string{"run", "./cmd/overlapbench", "-kind=coll", "-size=16384", "-iters=5"}},
+		{"Fig 4 (Isend post time)", []string{"run", "./cmd/osubench", "-test=isend", "-iters=20"}},
+		{"Fig 5a (collective post, 8 B)", []string{"run", "./cmd/osubench", "-test=icoll", "-size=8", "-iters=10"}},
+		{"Fig 5b (collective post, 8 KB)", []string{"run", "./cmd/osubench", "-test=icoll", "-size=8192", "-iters=10"}},
+		{"Fig 6 (multithreaded latency)", []string{"run", "./cmd/mtbench", "-iters=15"}},
+		{"Fig 7a (OSU latency, Xeon)", []string{"run", "./cmd/osubench", "-test=latency", "-iters=30"}},
+		{"Fig 7b (OSU bandwidth, Xeon)", []string{"run", "./cmd/osubench", "-test=bandwidth"}},
+		{"Fig 8a (OSU latency, Phi)", []string{"run", "./cmd/osubench", "-test=latency", "-profile=phi", "-iters=30"}},
+		{"Fig 8b (OSU bandwidth, Phi)", []string{"run", "./cmd/osubench", "-test=bandwidth", "-profile=phi"}},
+		{"Table 1 (QCD Dslash split)", []string{"run", "./cmd/qcdbench", "-exp=table1", "-iters=" + iters}},
+		{"Fig 9a (Dslash scaling, Endeavor)", []string{"run", "./cmd/qcdbench", "-exp=fig9a", "-iters=" + iters}},
+		{"Fig 9b (Dslash scaling, Edison)", []string{"run", "./cmd/qcdbench", "-exp=fig9b", "-iters=" + iters}},
+		{"Fig 10 (Dslash split fractions)", []string{"run", "./cmd/qcdbench", "-exp=fig10", "-iters=" + iters}},
+		{"Fig 11 (QCD solver)", []string{"run", "./cmd/qcdbench", "-exp=fig11", "-iters=" + iters}},
+		{"Fig 12 (thread groups)", []string{"run", "./cmd/qcdbench", "-exp=fig12", "-iters=" + iters}},
+		{"Table 2 (FFT split, Phi)", []string{"run", "./cmd/fftbench", "-exp=table2", "-iters=" + fftIters}},
+		{"Fig 13a (FFT weak scaling, Xeon)", []string{"run", "./cmd/fftbench", "-exp=fig13a", "-segments=4", "-iters=" + fftIters}},
+		{"Fig 13b (FFT weak scaling, Phi)", []string{"run", "./cmd/fftbench", "-exp=fig13b", "-iters=" + fftIters}},
+		{"Fig 14 (CNN training)", []string{"run", "./cmd/cnnbench", "-iters=" + iters}},
+	}
+
+	start := time.Now()
+	for i, s := range steps {
+		fmt.Printf("\n######## [%d/%d] %s ########\n", i+1, len(steps), s.name)
+		t0 := time.Now()
+		cmd := exec.Command("go", s.args...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			fmt.Fprintf(os.Stderr, "step %q failed: %v\n", s.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  (%.1fs)\n", time.Since(t0).Seconds())
+	}
+	fmt.Printf("\nall %d experiments regenerated in %.1fs\n", len(steps), time.Since(start).Seconds())
+}

@@ -1,0 +1,23 @@
+// Package mpioffload is a from-scratch Go reproduction of "Improving
+// concurrency and asynchrony in multithreaded MPI applications using
+// software offloading" (Vaidyanathan et al., SC '15).
+//
+// The system simulates MPI clusters in deterministic virtual time: a
+// protocol engine with eager/rendezvous wire protocols and a
+// THREAD_MULTIPLE lock model (internal/proto), an interconnect model
+// (internal/fabric), schedule-based collectives (internal/coll), and —
+// the paper's contribution — a per-rank software-offload engine built on
+// a real lock-free command queue and request pool (internal/core,
+// internal/queue, internal/reqpool).
+//
+// Public packages:
+//
+//	mpi      — the MPI-like API (Comm, Request, collectives)
+//	sim      — cluster construction, approaches, thread teams
+//	bench    — the paper's microbenchmark methodology
+//	apps/... — QCD (Wilson-Dslash + solvers), 1-D FFT, CNN training
+//
+// The cmd/ directory holds one driver per paper experiment; bench_test.go
+// exposes every table and figure as a Go benchmark. See DESIGN.md for the
+// system inventory and EXPERIMENTS.md for paper-vs-measured results.
+package mpioffload

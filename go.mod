@@ -1,0 +1,3 @@
+module mpioffload
+
+go 1.22

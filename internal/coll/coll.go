@@ -1,0 +1,566 @@
+// Package coll implements blocking and nonblocking MPI collectives as
+// round-based schedules over the point-to-point protocol engine
+// (libNBC-style). A nonblocking collective posts its first round at call
+// time and registers the schedule with the rank's progress engine; later
+// rounds advance only when progress is driven — which is exactly why
+// nonblocking collectives need asynchronous progress to overlap (paper
+// Figs 3 and 5).
+//
+// Algorithms:
+//
+//	Barrier    — dissemination (⌈log2 n⌉ rounds)
+//	Bcast      — binomial tree
+//	Reduce     — binomial tree with per-round combines
+//	Allreduce  — recursive doubling (non-power-of-two folded onto the
+//	             nearest power of two, MPICH-style)
+//	Gather     — linear to root
+//	Scatter    — linear from root
+//	Allgather  — ring (n-1 rounds)
+//	Alltoall   — pairwise exchange (n-1 rounds), with the bisection
+//	             congestion divisor applied to every transfer
+package coll
+
+import (
+	"fmt"
+	"math/bits"
+
+	"mpioffload/internal/proto"
+	"mpioffload/internal/vclock"
+)
+
+// collCommBit separates collective traffic from point-to-point traffic on
+// the same communicator (a stand-in for MPI's hidden context id), so that
+// application wildcard receives can never match collective messages.
+const collCommBit = 1 << 30
+
+// Group describes a communicator's membership from one rank's viewpoint.
+type Group struct {
+	Ranks []int // global ranks; index = group rank
+	Me    int   // my index in Ranks
+	Comm  int   // communicator id
+	Nodes int   // number of distinct physical nodes in the group
+}
+
+// Size returns the group size.
+func (g Group) Size() int { return len(g.Ranks) }
+
+// Combine is a reduction operator: dst[i] ⊕= src[i], element-wise over the
+// byte representation (the caller supplies a typed implementation).
+type Combine func(dst, src []byte)
+
+// Phase is one round of a schedule: Post issues its requests; After runs
+// once they all complete (e.g. a reduction combine).
+type Phase struct {
+	Post  func(t *vclock.Task) []proto.Req
+	After func(t *vclock.Task)
+}
+
+// Sched is an in-flight collective. It satisfies proto.Req (Done) and
+// proto.Progressor (Step). Completion of the current phase's operations is
+// tracked through per-op callbacks, so stepping a waiting schedule is O(1)
+// — essential when a phase posts hundreds of transfers (all-to-all at
+// scale).
+type Sched struct {
+	name        string
+	eng         *proto.Engine
+	phases      []Phase
+	cur         int
+	outstanding int
+	other       []proto.Req // rare: sub-requests that are not *proto.Op
+	done        bool
+	onDone      []func()
+}
+
+// Done reports whether the collective has completed.
+func (s *Sched) Done() bool { return s.done }
+
+// OnDone registers a completion callback (proto.Notifier), invoked
+// immediately if the schedule has already completed.
+func (s *Sched) OnDone(fn func()) {
+	if s.done {
+		fn()
+		return
+	}
+	s.onDone = append(s.onDone, fn)
+}
+
+// String identifies the schedule in diagnostics.
+func (s *Sched) String() string { return fmt.Sprintf("%s[phase %d/%d]", s.name, s.cur, len(s.phases)) }
+
+// arm registers completion tracking for a phase's requests.
+func (s *Sched) arm(reqs []proto.Req) {
+	s.other = s.other[:0]
+	for _, r := range reqs {
+		if r == nil || r.Done() {
+			continue
+		}
+		if op, ok := r.(*proto.Op); ok {
+			s.outstanding++
+			op.OnDone(func() { s.outstanding-- })
+		} else {
+			s.other = append(s.other, r)
+		}
+	}
+}
+
+func (s *Sched) phaseDone() bool {
+	if s.outstanding > 0 {
+		return false
+	}
+	for _, r := range s.other {
+		if !r.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// Step advances the schedule as far as possible; true means complete.
+func (s *Sched) Step(t *vclock.Task) bool {
+	if s.done {
+		return true
+	}
+	for {
+		if !s.phaseDone() {
+			return false
+		}
+		if s.cur < len(s.phases) && s.phases[s.cur].After != nil {
+			s.phases[s.cur].After(t)
+		}
+		s.cur++
+		if s.cur >= len(s.phases) {
+			s.done = true
+			for _, fn := range s.onDone {
+				fn()
+			}
+			s.onDone = nil
+			s.eng.Bump()
+			return true
+		}
+		s.arm(s.phases[s.cur].Post(t))
+	}
+}
+
+// start charges the collective call overhead, posts the first phase, and
+// registers the schedule with the progress engine. Empty schedules (e.g.
+// single-rank groups) complete immediately.
+func start(t *vclock.Task, e *proto.Engine, name string, phases []Phase) *Sched {
+	s := &Sched{name: name, eng: e, phases: phases}
+	t.SleepF(e.P.CallOverhead)
+	if len(phases) == 0 {
+		s.done = true
+		return s
+	}
+	s.arm(phases[0].Post(t))
+	e.AddProgressor(s)
+	return s
+}
+
+// ctx bundles what every algorithm needs.
+type ctx struct {
+	e   *proto.Engine
+	g   Group
+	cc  int // collective context (comm with the collective bit)
+	tag int
+}
+
+func newCtx(e *proto.Engine, g Group, tag int) ctx {
+	return ctx{e: e, g: g, cc: g.Comm | collCommBit, tag: tag}
+}
+
+func (c ctx) send(t *vclock.Task, buf []byte, to int) proto.Req {
+	return c.e.Isend(t, buf, c.g.Ranks[to], c.tag, c.cc)
+}
+
+func (c ctx) sendBW(t *vclock.Task, buf []byte, to int, bwDiv float64) proto.Req {
+	return c.e.IsendBW(t, buf, c.g.Ranks[to], c.tag, c.cc, bwDiv)
+}
+
+func (c ctx) recv(t *vclock.Task, buf []byte, from int) proto.Req {
+	return c.e.Irecv(t, buf, c.g.Ranks[from], c.tag, c.cc)
+}
+
+// Ibarrier starts a dissemination barrier.
+func Ibarrier(t *vclock.Task, e *proto.Engine, g Group, tag int) *Sched {
+	c := newCtx(e, g, tag)
+	n := g.Size()
+	var phases []Phase
+	one := []byte{1}
+	for k := 1; k < n; k <<= 1 {
+		k := k
+		phases = append(phases, Phase{Post: func(t *vclock.Task) []proto.Req {
+			to := (g.Me + k) % n
+			from := (g.Me - k + n) % n
+			rbuf := make([]byte, 1)
+			return []proto.Req{c.recv(t, rbuf, from), c.send(t, one, to)}
+		}})
+	}
+	return start(t, e, "barrier", phases)
+}
+
+// Ibcast starts a binomial-tree broadcast of buf from root.
+func Ibcast(t *vclock.Task, e *proto.Engine, g Group, buf []byte, root, tag int) *Sched {
+	c := newCtx(e, g, tag)
+	n := g.Size()
+	vr := (g.Me - root + n) % n
+	abs := func(v int) int { return (v + root) % n }
+	var phases []Phase
+
+	// Receive from parent (everyone except the root).
+	recvMask := 0
+	for mask := 1; mask < n; mask <<= 1 {
+		if vr&mask != 0 {
+			recvMask = mask
+			parent := abs(vr - mask)
+			phases = append(phases, Phase{Post: func(t *vclock.Task) []proto.Req {
+				return []proto.Req{c.recv(t, buf, parent)}
+			}})
+			break
+		}
+	}
+	// Send to children, highest bit first (binomial fan-out).
+	top := recvMask
+	if vr == 0 {
+		top = 1
+		for top < n {
+			top <<= 1
+		}
+	}
+	for mask := top >> 1; mask > 0; mask >>= 1 {
+		if vr&mask == 0 && vr+mask < n {
+			child := abs(vr + mask)
+			phases = append(phases, Phase{Post: func(t *vclock.Task) []proto.Req {
+				return []proto.Req{c.send(t, buf, child)}
+			}})
+		}
+	}
+	return start(t, e, "bcast", phases)
+}
+
+// Ireduce starts a binomial-tree reduction into buf at root (buf is both
+// contribution and, on root, the result).
+func Ireduce(t *vclock.Task, e *proto.Engine, g Group, buf []byte, op Combine, root, tag int) *Sched {
+	c := newCtx(e, g, tag)
+	n := g.Size()
+	vr := (g.Me - root + n) % n
+	abs := func(v int) int { return (v + root) % n }
+	var phases []Phase
+	for mask := 1; mask < n; mask <<= 1 {
+		if vr&mask != 0 {
+			parent := abs(vr &^ mask)
+			phases = append(phases, Phase{Post: func(t *vclock.Task) []proto.Req {
+				return []proto.Req{c.send(t, buf, parent)}
+			}})
+			break
+		}
+		src := vr | mask
+		if src >= n {
+			continue
+		}
+		tmp := make([]byte, len(buf))
+		from := abs(src)
+		phases = append(phases, Phase{
+			Post: func(t *vclock.Task) []proto.Req {
+				return []proto.Req{c.recv(t, tmp, from)}
+			},
+			After: func(t *vclock.Task) {
+				t.SleepF(e.P.CopyTime(len(buf)))
+				op(buf, tmp)
+			},
+		})
+	}
+	return start(t, e, "reduce", phases)
+}
+
+// Iallreduce starts a recursive-doubling allreduce on buf (in place on all
+// ranks). Non-power-of-two groups fold the excess ranks onto the nearest
+// power of two first and unfold at the end.
+func Iallreduce(t *vclock.Task, e *proto.Engine, g Group, buf []byte, op Combine, tag int) *Sched {
+	c := newCtx(e, g, tag)
+	n := g.Size()
+	pof2 := 1 << (bits.Len(uint(n)) - 1)
+	rem := n - pof2
+	me := g.Me
+	var phases []Phase
+
+	// Fold: the first 2*rem ranks pair up; odds send to evens and sit out.
+	newRank := -1
+	switch {
+	case me < 2*rem && me%2 != 0:
+		phases = append(phases, Phase{Post: func(t *vclock.Task) []proto.Req {
+			return []proto.Req{c.send(t, buf, me-1)}
+		}})
+	case me < 2*rem:
+		tmp := make([]byte, len(buf))
+		phases = append(phases, Phase{
+			Post: func(t *vclock.Task) []proto.Req {
+				return []proto.Req{c.recv(t, tmp, me+1)}
+			},
+			After: func(t *vclock.Task) {
+				t.SleepF(e.P.CopyTime(len(buf)))
+				op(buf, tmp)
+			},
+		})
+		newRank = me / 2
+	default:
+		newRank = me - rem
+	}
+
+	// Recursive doubling among the pof2 participants.
+	if newRank >= 0 {
+		toOld := func(nr int) int {
+			if nr < rem {
+				return nr * 2
+			}
+			return nr + rem
+		}
+		for mask := 1; mask < pof2; mask <<= 1 {
+			partner := toOld(newRank ^ mask)
+			tmp := make([]byte, len(buf))
+			phases = append(phases, Phase{
+				Post: func(t *vclock.Task) []proto.Req {
+					return []proto.Req{c.recv(t, tmp, partner), c.send(t, buf, partner)}
+				},
+				After: func(t *vclock.Task) {
+					t.SleepF(e.P.CopyTime(len(buf)))
+					op(buf, tmp)
+				},
+			})
+		}
+	}
+
+	// Unfold: evens hand the result back to the odds.
+	switch {
+	case me < 2*rem && me%2 != 0:
+		phases = append(phases, Phase{Post: func(t *vclock.Task) []proto.Req {
+			return []proto.Req{c.recv(t, buf, me-1)}
+		}})
+	case me < 2*rem:
+		phases = append(phases, Phase{Post: func(t *vclock.Task) []proto.Req {
+			return []proto.Req{c.send(t, buf, me+1)}
+		}})
+	}
+	return start(t, e, "allreduce", phases)
+}
+
+// Igather starts a linear gather of equal blocks into out at root
+// (len(out) = n*len(block); root's own block is copied locally).
+func Igather(t *vclock.Task, e *proto.Engine, g Group, block, out []byte, root, tag int) *Sched {
+	c := newCtx(e, g, tag)
+	n := g.Size()
+	bs := len(block)
+	var phases []Phase
+	if g.Me == root {
+		phases = append(phases, Phase{Post: func(t *vclock.Task) []proto.Req {
+			t.SleepF(e.P.CopyTime(bs))
+			copy(out[root*bs:(root+1)*bs], block)
+			var reqs []proto.Req
+			for r := 0; r < n; r++ {
+				if r == root {
+					continue
+				}
+				reqs = append(reqs, c.recv(t, out[r*bs:(r+1)*bs], r))
+			}
+			return reqs
+		}})
+	} else {
+		phases = append(phases, Phase{Post: func(t *vclock.Task) []proto.Req {
+			return []proto.Req{c.send(t, block, root)}
+		}})
+	}
+	return start(t, e, "gather", phases)
+}
+
+// Iscatter starts a linear scatter of equal blocks from in at root into
+// block on every rank.
+func Iscatter(t *vclock.Task, e *proto.Engine, g Group, in, block []byte, root, tag int) *Sched {
+	c := newCtx(e, g, tag)
+	n := g.Size()
+	bs := len(block)
+	var phases []Phase
+	if g.Me == root {
+		phases = append(phases, Phase{Post: func(t *vclock.Task) []proto.Req {
+			t.SleepF(e.P.CopyTime(bs))
+			copy(block, in[root*bs:(root+1)*bs])
+			var reqs []proto.Req
+			for r := 0; r < n; r++ {
+				if r == root {
+					continue
+				}
+				reqs = append(reqs, c.send(t, in[r*bs:(r+1)*bs], r))
+			}
+			return reqs
+		}})
+	} else {
+		phases = append(phases, Phase{Post: func(t *vclock.Task) []proto.Req {
+			return []proto.Req{c.recv(t, block, root)}
+		}})
+	}
+	return start(t, e, "scatter", phases)
+}
+
+// Iallgather starts a ring allgather: each rank contributes block; out
+// receives all blocks in group-rank order.
+func Iallgather(t *vclock.Task, e *proto.Engine, g Group, block, out []byte, tag int) *Sched {
+	c := newCtx(e, g, tag)
+	n := g.Size()
+	bs := len(block)
+	me := g.Me
+	right := (me + 1) % n
+	left := (me - 1 + n) % n
+	var phases []Phase
+	phases = append(phases, Phase{Post: func(t *vclock.Task) []proto.Req {
+		t.SleepF(e.P.CopyTime(bs))
+		copy(out[me*bs:(me+1)*bs], block)
+		return nil
+	}})
+	for step := 0; step < n-1; step++ {
+		step := step
+		phases = append(phases, Phase{Post: func(t *vclock.Task) []proto.Req {
+			sendIdx := (me - step + n) % n
+			recvIdx := (me - step - 1 + n) % n
+			return []proto.Req{
+				c.recv(t, out[recvIdx*bs:(recvIdx+1)*bs], left),
+				c.send(t, out[sendIdx*bs:(sendIdx+1)*bs], right),
+			}
+		}})
+	}
+	return start(t, e, "allgather", phases)
+}
+
+// Ialltoall starts a pairwise-exchange all-to-all of equal blocks: send
+// holds n blocks of bs bytes (block r goes to group rank r); recv receives
+// block r from rank r. The bisection congestion divisor for the group's
+// node count is applied to every transfer.
+func Ialltoall(t *vclock.Task, e *proto.Engine, g Group, send, recv []byte, bs, tag int) *Sched {
+	c := newCtx(e, g, tag)
+	n := g.Size()
+	me := g.Me
+	bwDiv := e.P.CongestionFactor(g.Nodes)
+	var phases []Phase
+	phases = append(phases, Phase{Post: func(t *vclock.Task) []proto.Req {
+		t.SleepF(e.P.CopyTime(bs))
+		copy(recv[me*bs:(me+1)*bs], send[me*bs:(me+1)*bs])
+		return nil
+	}})
+	for step := 1; step < n; step++ {
+		step := step
+		phases = append(phases, Phase{Post: func(t *vclock.Task) []proto.Req {
+			to := (me + step) % n
+			from := (me - step + n) % n
+			return []proto.Req{
+				c.recv(t, recv[from*bs:(from+1)*bs], from),
+				c.sendBW(t, send[to*bs:(to+1)*bs], to, bwDiv),
+			}
+		}})
+	}
+	return start(t, e, "alltoall", phases)
+}
+
+// ---- phantom variants -------------------------------------------------
+//
+// Workload models (QCD/FFT/CNN scaling studies) need the full protocol and
+// network timing of very large operations without allocating their
+// payloads. The *N constructors below run the same schedules with
+// IsendN/IrecvN phantom transfers: all costs are charged for n bytes, but
+// no data is carried.
+
+func (c ctx) sendN(t *vclock.Task, n, to int, bwDiv float64) proto.Req {
+	return c.e.IsendN(t, nil, n, c.g.Ranks[to], c.tag, c.cc, bwDiv)
+}
+
+func (c ctx) recvN(t *vclock.Task, n, from int) proto.Req {
+	return c.e.IrecvN(t, nil, n, c.g.Ranks[from], c.tag, c.cc)
+}
+
+// IalltoallN starts a phantom all-to-all of n-byte blocks. Unlike the
+// data-carrying Ialltoall (pairwise rounds), the large-message nonblocking
+// all-to-all posts all its point-to-point operations up front (the
+// scattered algorithm), so the caller pays one post per peer — the reason
+// the paper's FFT post time grows with node count (§4.3, Table 2).
+func IalltoallN(t *vclock.Task, e *proto.Engine, g Group, bs, tag int) *Sched {
+	c := newCtx(e, g, tag)
+	n := g.Size()
+	me := g.Me
+	bwDiv := e.P.CongestionFactor(g.Nodes)
+	phases := []Phase{{Post: func(t *vclock.Task) []proto.Req {
+		// The local block stays in place (the caller's own reshuffle
+		// passes account for it); only the remote transfers are posted.
+		// The per-call software costs are charged in one lump so that a
+		// 1000-peer post is one scheduler interaction, not 2000.
+		reqs := make([]proto.Req, 0, 2*(n-1))
+		cost := 0.0
+		for step := 1; step < n; step++ {
+			from := (me - step + n) % n
+			op, cc := e.IrecvNCost(nil, bs, g.Ranks[from], tag, c.cc)
+			cost += cc
+			reqs = append(reqs, op)
+		}
+		for step := 1; step < n; step++ {
+			to := (me + step) % n
+			op, cc := e.IsendNCost(nil, bs, g.Ranks[to], tag, c.cc, bwDiv)
+			cost += cc
+			reqs = append(reqs, op)
+		}
+		t.SleepF(cost)
+		return reqs
+	}}}
+	return start(t, e, "alltoallN", phases)
+}
+
+// IallreduceN starts a phantom recursive-doubling allreduce of n bytes,
+// charging the combine cost each round.
+func IallreduceN(t *vclock.Task, e *proto.Engine, g Group, n, tag int) *Sched {
+	c := newCtx(e, g, tag)
+	sz := g.Size()
+	pof2 := 1 << (bits.Len(uint(sz)) - 1)
+	rem := sz - pof2
+	me := g.Me
+	var phases []Phase
+
+	newRank := -1
+	switch {
+	case me < 2*rem && me%2 != 0:
+		phases = append(phases, Phase{Post: func(t *vclock.Task) []proto.Req {
+			return []proto.Req{c.sendN(t, n, me-1, 1)}
+		}})
+	case me < 2*rem:
+		phases = append(phases, Phase{
+			Post: func(t *vclock.Task) []proto.Req {
+				return []proto.Req{c.recvN(t, n, me+1)}
+			},
+			After: func(t *vclock.Task) { t.SleepF(e.P.CopyTime(n)) },
+		})
+		newRank = me / 2
+	default:
+		newRank = me - rem
+	}
+	if newRank >= 0 {
+		toOld := func(nr int) int {
+			if nr < rem {
+				return nr * 2
+			}
+			return nr + rem
+		}
+		for mask := 1; mask < pof2; mask <<= 1 {
+			partner := toOld(newRank ^ mask)
+			phases = append(phases, Phase{
+				Post: func(t *vclock.Task) []proto.Req {
+					return []proto.Req{c.recvN(t, n, partner), c.sendN(t, n, partner, 1)}
+				},
+				After: func(t *vclock.Task) { t.SleepF(e.P.CopyTime(n)) },
+			})
+		}
+	}
+	switch {
+	case me < 2*rem && me%2 != 0:
+		phases = append(phases, Phase{Post: func(t *vclock.Task) []proto.Req {
+			return []proto.Req{c.recvN(t, n, me-1)}
+		}})
+	case me < 2*rem:
+		phases = append(phases, Phase{Post: func(t *vclock.Task) []proto.Req {
+			return []proto.Req{c.sendN(t, n, me+1, 1)}
+		}})
+	}
+	return start(t, e, "allreduceN", phases)
+}

@@ -1,0 +1,209 @@
+package coll
+
+import (
+	"mpioffload/internal/proto"
+	"mpioffload/internal/vclock"
+)
+
+// RingThreshold is the payload size above which Iallreduce switches from
+// recursive doubling (latency-optimal, log n rounds of the full buffer) to
+// the ring algorithm (bandwidth-optimal, 2(n-1) rounds of 1/n blocks) —
+// the standard large-message choice in production MPI implementations.
+const RingThreshold = 64 << 10
+
+// reduceElem is the element granularity ring splits respect so that the
+// Combine operator always sees whole elements (all the typed operators in
+// package mpi work on 8-byte words; complex128 is two of them).
+const reduceElem = 8
+
+// IallreduceAuto picks the allreduce algorithm by message size.
+func IallreduceAuto(t *vclock.Task, e *proto.Engine, g Group, buf []byte, op Combine, tag int) *Sched {
+	if len(buf) >= RingThreshold && g.Size() > 2 && len(buf)%reduceElem == 0 {
+		return IallreduceRing(t, e, g, buf, op, tag)
+	}
+	return Iallreduce(t, e, g, buf, op, tag)
+}
+
+// IallreduceRing is the bandwidth-optimal ring allreduce: a reduce-scatter
+// phase (n-1 steps) followed by an allgather phase (n-1 steps), moving
+// 2·(n-1)/n of the buffer per rank in total. len(buf) must be a multiple
+// of the 8-byte reduce element.
+func IallreduceRing(t *vclock.Task, e *proto.Engine, g Group, buf []byte, op Combine, tag int) *Sched {
+	if len(buf)%reduceElem != 0 {
+		panic("coll: ring allreduce needs an 8-byte-aligned buffer")
+	}
+	c := newCtx(e, g, tag)
+	n := g.Size()
+	me := g.Me
+	right := (me + 1) % n
+	left := (me - 1 + n) % n
+
+	// Block b covers elements [b·count/n, (b+1)·count/n).
+	count := len(buf) / reduceElem
+	off := func(b int) int { return (b%n + n) % n * count / n * reduceElem }
+	block := func(b int) []byte {
+		b = (b%n + n) % n
+		return buf[off(b) : (b+1)*count/n*reduceElem]
+	}
+	var phases []Phase
+	// Reduce-scatter: at step s we send block (me-s) and receive+combine
+	// block (me-s-1); after n-1 steps rank r owns the fully reduced block
+	// (r+1) mod n.
+	for s := 0; s < n-1; s++ {
+		s := s
+		tmp := make([]byte, len(block(0))+reduceElem) // blocks differ ≤1 elem
+		phases = append(phases, Phase{
+			Post: func(t *vclock.Task) []proto.Req {
+				rb := block(me - s - 1)
+				return []proto.Req{
+					c.e.Irecv(t, tmp[:len(rb)], c.g.Ranks[left], c.tag, c.cc),
+					c.send(t, block(me-s), right),
+				}
+			},
+			After: func(t *vclock.Task) {
+				rb := block(me - s - 1)
+				t.SleepF(e.P.CopyTime(len(rb)))
+				op(rb, tmp[:len(rb)])
+			},
+		})
+	}
+	// Allgather: circulate the reduced blocks.
+	for s := 0; s < n-1; s++ {
+		s := s
+		phases = append(phases, Phase{Post: func(t *vclock.Task) []proto.Req {
+			return []proto.Req{
+				c.recv(t, block(me-s), left),
+				c.send(t, block(me-s+1), right),
+			}
+		}})
+	}
+	return start(t, e, "allreduce-ring", phases)
+}
+
+// IreduceScatterBlock reduces equal blocks across the group and leaves
+// rank r with the reduced block r in out (len(out) = len(buf)/n). It is
+// the reduce-scatter half of the ring allreduce.
+func IreduceScatterBlock(t *vclock.Task, e *proto.Engine, g Group, buf, out []byte, op Combine, tag int) *Sched {
+	c := newCtx(e, g, tag)
+	n := g.Size()
+	me := g.Me
+	right := (me + 1) % n
+	left := (me - 1 + n) % n
+	bs := len(buf) / n
+	block := func(b int) []byte {
+		b = (b%n + n) % n
+		return buf[b*bs : (b+1)*bs]
+	}
+	var phases []Phase
+	// Shifted ring: sending block (me-s-1) at step s leaves rank r owning
+	// the fully reduced block r after n-1 steps.
+	for s := 0; s < n-1; s++ {
+		s := s
+		tmp := make([]byte, bs)
+		phases = append(phases, Phase{
+			Post: func(t *vclock.Task) []proto.Req {
+				return []proto.Req{
+					c.recv(t, tmp, left),
+					c.send(t, block(me-s-1), right),
+				}
+			},
+			After: func(t *vclock.Task) {
+				t.SleepF(e.P.CopyTime(bs))
+				op(block(me-s-2), tmp)
+			},
+		})
+	}
+	phases = append(phases, Phase{Post: func(t *vclock.Task) []proto.Req {
+		t.SleepF(e.P.CopyTime(bs))
+		copy(out, block(me))
+		return nil
+	}})
+	return start(t, e, "reduce-scatter", phases)
+}
+
+// IScan computes the inclusive prefix reduction: rank r's buf becomes
+// op(buf₀, …, buf_r). Linear chain (each rank combines its predecessor's
+// prefix, then forwards its own).
+func IScan(t *vclock.Task, e *proto.Engine, g Group, buf []byte, op Combine, tag int) *Sched {
+	c := newCtx(e, g, tag)
+	n := g.Size()
+	me := g.Me
+	var phases []Phase
+	if me > 0 {
+		tmp := make([]byte, len(buf))
+		phases = append(phases, Phase{
+			Post: func(t *vclock.Task) []proto.Req {
+				return []proto.Req{c.recv(t, tmp, me-1)}
+			},
+			After: func(t *vclock.Task) {
+				t.SleepF(e.P.CopyTime(len(buf)))
+				// buf = prefix(pred) ⊕ mine, preserving operand order.
+				op(tmp, buf)
+				copy(buf, tmp)
+			},
+		})
+	}
+	if me < n-1 {
+		phases = append(phases, Phase{Post: func(t *vclock.Task) []proto.Req {
+			return []proto.Req{c.send(t, buf, me+1)}
+		}})
+	}
+	return start(t, e, "scan", phases)
+}
+
+// IalltoallV is the variable-size all-to-all: sendBufs[r] goes to group
+// rank r, recvBufs[r] is filled from rank r (nil slices mean empty).
+// Pairwise exchange with the congestion divisor.
+func IalltoallV(t *vclock.Task, e *proto.Engine, g Group, sendBufs, recvBufs [][]byte, tag int) *Sched {
+	c := newCtx(e, g, tag)
+	n := g.Size()
+	me := g.Me
+	bwDiv := e.P.CongestionFactor(g.Nodes)
+	var phases []Phase
+	phases = append(phases, Phase{Post: func(t *vclock.Task) []proto.Req {
+		t.SleepF(e.P.CopyTime(len(sendBufs[me])))
+		copy(recvBufs[me], sendBufs[me])
+		return nil
+	}})
+	for step := 1; step < n; step++ {
+		step := step
+		phases = append(phases, Phase{Post: func(t *vclock.Task) []proto.Req {
+			to := (me + step) % n
+			from := (me - step + n) % n
+			var reqs []proto.Req
+			reqs = append(reqs, c.recv(t, recvBufs[from], from))
+			reqs = append(reqs, c.sendBW(t, sendBufs[to], to, bwDiv))
+			return reqs
+		}})
+	}
+	return start(t, e, "alltoallv", phases)
+}
+
+// IallgatherV gathers variable-sized blocks from every rank to every rank:
+// block is this rank's contribution; out[r] receives rank r's block.
+// Ring algorithm.
+func IallgatherV(t *vclock.Task, e *proto.Engine, g Group, block []byte, out [][]byte, tag int) *Sched {
+	c := newCtx(e, g, tag)
+	n := g.Size()
+	me := g.Me
+	right := (me + 1) % n
+	left := (me - 1 + n) % n
+	var phases []Phase
+	phases = append(phases, Phase{Post: func(t *vclock.Task) []proto.Req {
+		t.SleepF(e.P.CopyTime(len(block)))
+		copy(out[me], block)
+		return nil
+	}})
+	for s := 0; s < n-1; s++ {
+		s := s
+		phases = append(phases, Phase{Post: func(t *vclock.Task) []proto.Req {
+			sendIdx := (me - s + n) % n
+			recvIdx := (me - s - 1 + n) % n
+			return []proto.Req{
+				c.recv(t, out[recvIdx], left),
+				c.send(t, out[sendIdx], right),
+			}
+		}})
+	}
+	return start(t, e, "allgatherv", phases)
+}

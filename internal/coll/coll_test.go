@@ -1,0 +1,299 @@
+package coll
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"testing"
+
+	"mpioffload/internal/fabric"
+	"mpioffload/internal/model"
+	"mpioffload/internal/proto"
+	"mpioffload/internal/vclock"
+)
+
+// runGroup executes body on every rank of a fresh n-rank cluster and waits
+// for all of them.
+func runGroup(t *testing.T, n int, body func(tk *vclock.Task, e *proto.Engine, g Group)) {
+	t.Helper()
+	p := model.Endeavor()
+	p.RanksPerNode = 1
+	k := vclock.NewKernel()
+	f := fabric.New(k, p, n)
+	ranks := make([]int, n)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	for i := 0; i < n; i++ {
+		e := proto.NewEngine(k, f, p, i)
+		g := Group{Ranks: ranks, Me: i, Comm: 0, Nodes: n}
+		k.Go(fmt.Sprintf("rank%d", i), func(tk *vclock.Task) { body(tk, e, g) })
+	}
+	k.Run()
+}
+
+func f64bytes(vals ...float64) []byte {
+	b := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+	}
+	return b
+}
+
+func bytesF64(b []byte) []float64 {
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+func sumF64(dst, src []byte) {
+	d, s := bytesF64(dst), bytesF64(src)
+	for i := range d {
+		d[i] += s[i]
+	}
+	copy(dst, f64bytes(d...))
+}
+
+var groupSizes = []int{1, 2, 3, 4, 5, 7, 8, 13, 16}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	for _, n := range groupSizes {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			exits := make([]vclock.Time, n)
+			lastEntry := vclock.Time(0)
+			runGroup(t, n, func(tk *vclock.Task, e *proto.Engine, g Group) {
+				tk.Sleep(vclock.Time(1000 * (g.Me + 1))) // staggered arrival
+				if tk.Now() > lastEntry {
+					lastEntry = tk.Now()
+				}
+				s := Ibarrier(tk, e, g, 1)
+				e.WaitAll(tk, s)
+				exits[g.Me] = tk.Now()
+			})
+			for r, x := range exits {
+				if x < lastEntry {
+					t.Errorf("rank %d exited barrier at %d before last entry %d", r, x, lastEntry)
+				}
+			}
+		})
+	}
+}
+
+func TestBcastDeliversToAll(t *testing.T) {
+	for _, n := range groupSizes {
+		for root := 0; root < n; root += max(1, n/3) {
+			n, root := n, root
+			t.Run(fmt.Sprintf("n=%d root=%d", n, root), func(t *testing.T) {
+				runGroup(t, n, func(tk *vclock.Task, e *proto.Engine, g Group) {
+					buf := make([]byte, 512)
+					if g.Me == root {
+						for i := range buf {
+							buf[i] = byte(i % 251)
+						}
+					}
+					s := Ibcast(tk, e, g, buf, root, 2)
+					e.WaitAll(tk, s)
+					for i := range buf {
+						if buf[i] != byte(i%251) {
+							t.Errorf("rank %d byte %d corrupted", g.Me, i)
+							return
+						}
+					}
+				})
+			})
+		}
+	}
+}
+
+func TestReduceSumsAtRoot(t *testing.T) {
+	for _, n := range groupSizes {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			root := n / 2
+			runGroup(t, n, func(tk *vclock.Task, e *proto.Engine, g Group) {
+				buf := f64bytes(float64(g.Me+1), 2*float64(g.Me+1))
+				s := Ireduce(tk, e, g, buf, sumF64, root, 3)
+				e.WaitAll(tk, s)
+				if g.Me == root {
+					want := float64(n*(n+1)) / 2
+					got := bytesF64(buf)
+					if got[0] != want || got[1] != 2*want {
+						t.Errorf("reduce got %v, want [%v %v]", got, want, 2*want)
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestAllreduceSumsEverywhere(t *testing.T) {
+	for _, n := range groupSizes {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			runGroup(t, n, func(tk *vclock.Task, e *proto.Engine, g Group) {
+				buf := f64bytes(float64(g.Me + 1))
+				s := Iallreduce(tk, e, g, buf, sumF64, 4)
+				e.WaitAll(tk, s)
+				want := float64(n*(n+1)) / 2
+				if got := bytesF64(buf)[0]; got != want {
+					t.Errorf("rank %d allreduce got %v, want %v", g.Me, got, want)
+				}
+			})
+		})
+	}
+}
+
+func TestGatherCollectsInOrder(t *testing.T) {
+	for _, n := range groupSizes {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			runGroup(t, n, func(tk *vclock.Task, e *proto.Engine, g Group) {
+				block := []byte{byte(g.Me), byte(g.Me * 2)}
+				out := make([]byte, 2*n)
+				s := Igather(tk, e, g, block, out, 0, 5)
+				e.WaitAll(tk, s)
+				if g.Me == 0 {
+					for r := 0; r < n; r++ {
+						if out[2*r] != byte(r) || out[2*r+1] != byte(2*r) {
+							t.Errorf("gather block %d wrong: %v", r, out[2*r:2*r+2])
+						}
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestScatterDistributes(t *testing.T) {
+	for _, n := range groupSizes {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			runGroup(t, n, func(tk *vclock.Task, e *proto.Engine, g Group) {
+				var in []byte
+				if g.Me == 0 {
+					in = make([]byte, 4*n)
+					for r := 0; r < n; r++ {
+						for j := 0; j < 4; j++ {
+							in[4*r+j] = byte(r*10 + j)
+						}
+					}
+				}
+				block := make([]byte, 4)
+				s := Iscatter(tk, e, g, in, block, 0, 6)
+				e.WaitAll(tk, s)
+				for j := 0; j < 4; j++ {
+					if block[j] != byte(g.Me*10+j) {
+						t.Errorf("rank %d scatter byte %d = %d", g.Me, j, block[j])
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestAllgatherRing(t *testing.T) {
+	for _, n := range groupSizes {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			runGroup(t, n, func(tk *vclock.Task, e *proto.Engine, g Group) {
+				block := []byte{byte(g.Me + 100)}
+				out := make([]byte, n)
+				s := Iallgather(tk, e, g, block, out, 7)
+				e.WaitAll(tk, s)
+				for r := 0; r < n; r++ {
+					if out[r] != byte(r+100) {
+						t.Errorf("rank %d allgather[%d] = %d", g.Me, r, out[r])
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestAlltoallPairwise(t *testing.T) {
+	for _, n := range groupSizes {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			const bs = 4
+			runGroup(t, n, func(tk *vclock.Task, e *proto.Engine, g Group) {
+				send := make([]byte, bs*n)
+				for r := 0; r < n; r++ {
+					for j := 0; j < bs; j++ {
+						send[bs*r+j] = byte(g.Me*16 + r)
+					}
+				}
+				recv := make([]byte, bs*n)
+				s := Ialltoall(tk, e, g, send, recv, bs, 8)
+				e.WaitAll(tk, s)
+				for r := 0; r < n; r++ {
+					want := byte(r*16 + g.Me)
+					for j := 0; j < bs; j++ {
+						if recv[bs*r+j] != want {
+							t.Errorf("rank %d alltoall block %d byte %d = %d want %d",
+								g.Me, r, j, recv[bs*r+j], want)
+							return
+						}
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestNonblockingCollectiveNeedsProgress verifies the core dynamic behind
+// paper Fig 3: with computation between Iallreduce and Wait and nobody
+// driving progress, the collective's later rounds happen inside Wait.
+func TestNonblockingCollectiveNeedsProgress(t *testing.T) {
+	const n = 8
+	waits := make([]vclock.Time, n)
+	runGroup(t, n, func(tk *vclock.Task, e *proto.Engine, g Group) {
+		buf := f64bytes(1)
+		s := Iallreduce(tk, e, g, buf, sumF64, 9)
+		tk.Sleep(10_000_000) // compute; no progress
+		start := tk.Now()
+		e.WaitAll(tk, s)
+		waits[g.Me] = tk.Now() - start
+		if got := bytesF64(buf)[0]; got != n {
+			t.Errorf("allreduce result %v, want %d", got, n)
+		}
+	})
+	// At least the later recursive-doubling rounds must run inside Wait:
+	// wait time should exceed one link latency.
+	for r, w := range waits {
+		if w < 650 {
+			t.Errorf("rank %d wait %d ns: rounds cannot all have pre-completed", r, w)
+		}
+	}
+}
+
+// TestConcurrentCollectivesDistinctTags: two collectives in flight on the
+// same communicator with different tags must not interfere.
+func TestConcurrentCollectivesDistinctTags(t *testing.T) {
+	const n = 4
+	runGroup(t, n, func(tk *vclock.Task, e *proto.Engine, g Group) {
+		a := f64bytes(1)
+		b := f64bytes(10)
+		s1 := Iallreduce(tk, e, g, a, sumF64, 100)
+		s2 := Iallreduce(tk, e, g, b, sumF64, 101)
+		e.WaitAll(tk, s1, s2)
+		if bytesF64(a)[0] != n || bytesF64(b)[0] != 10*n {
+			t.Errorf("concurrent collectives interfered: %v %v", bytesF64(a), bytesF64(b))
+		}
+	})
+}
+
+// TestCollectiveTrafficInvisibleToWildcards: an application wildcard recv
+// must never match collective traffic.
+func TestCollectiveTrafficInvisibleToWildcards(t *testing.T) {
+	const n = 2
+	runGroup(t, n, func(tk *vclock.Task, e *proto.Engine, g Group) {
+		s := Ibarrier(tk, e, g, 1)
+		e.WaitAll(tk, s)
+		if ok, st := e.Iprobe(tk, proto.AnySource, proto.AnyTag, 0); ok {
+			t.Errorf("wildcard probe matched collective traffic: %+v", st)
+		}
+	})
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+
+	"mpioffload/internal/model"
+	"mpioffload/internal/proto"
+	"mpioffload/internal/vclock"
+)
+
+// TestOffloadThreadIdlesWhenQuiet: an idle rank's offload thread must park
+// (bounded IdleWaits), not spin the virtual clock.
+func TestOffloadThreadIdlesWhenQuiet(t *testing.T) {
+	r := newRig(2)
+	r.k.Go("app0", func(tk *vclock.Task) {
+		tk.Sleep(50_000_000) // 50 ms of pure compute, no communication
+	})
+	r.k.Go("app1", func(tk *vclock.Task) { tk.Sleep(50_000_000) })
+	r.k.Run()
+	for i, o := range r.offs {
+		if o.Issued != 0 {
+			t.Errorf("offloader %d issued %d commands from nothing", i, o.Issued)
+		}
+		if o.IdleWaits > 4 {
+			t.Errorf("offloader %d parked %d times; should park once and stay", i, o.IdleWaits)
+		}
+	}
+}
+
+// TestCommandQueueBackpressure: with a tiny command queue, submitters must
+// block until the offload thread drains, and nothing may be lost.
+func TestCommandQueueBackpressure(t *testing.T) {
+	p := model.Endeavor()
+	p.RanksPerNode = 1
+	p.CommandQueueCap = 2
+	r := newRigP(2, p)
+	const n = 64
+	r.k.Go("app0", func(tk *vclock.Task) {
+		hs := make([]Handle, 0, n)
+		for i := 0; i < n; i++ {
+			hs = append(hs, r.offs[0].Submit(tk, func(ot *vclock.Task) proto.Req {
+				return r.engs[0].Isend(ot, []byte{byte(i)}, 1, i, 0)
+			}))
+		}
+		r.offs[0].WaitAll(tk, hs...)
+	})
+	r.k.Go("app1", func(tk *vclock.Task) {
+		for i := 0; i < n; i++ {
+			got := make([]byte, 1)
+			h := r.offs[1].Submit(tk, func(ot *vclock.Task) proto.Req {
+				return r.engs[1].Irecv(ot, got, 0, i, 0)
+			})
+			r.offs[1].Wait(tk, h)
+		}
+	})
+	r.k.Run()
+	if r.offs[0].Completed != n {
+		t.Fatalf("completed %d, want %d", r.offs[0].Completed, n)
+	}
+}
+
+// TestStatsAccounting: submitted == issued == completed after a clean run.
+func TestStatsAccounting(t *testing.T) {
+	r := newRig(2)
+	const n = 20
+	r.k.Go("app0", func(tk *vclock.Task) {
+		for i := 0; i < n; i++ {
+			h := r.offs[0].Submit(tk, func(ot *vclock.Task) proto.Req {
+				return r.engs[0].Isend(ot, seqBytes(32), 1, i, 0)
+			})
+			r.offs[0].Wait(tk, h)
+		}
+	})
+	r.k.Go("app1", func(tk *vclock.Task) {
+		for i := 0; i < n; i++ {
+			h := r.offs[1].Submit(tk, func(ot *vclock.Task) proto.Req {
+				return r.engs[1].Irecv(ot, make([]byte, 32), 0, i, 0)
+			})
+			r.offs[1].Wait(tk, h)
+		}
+	})
+	r.k.Run()
+	for i, o := range r.offs {
+		if o.Submitted != n || o.Issued != n || o.Completed != n {
+			t.Errorf("offloader %d stats: submitted=%d issued=%d completed=%d, want %d each",
+				i, o.Submitted, o.Issued, o.Completed, n)
+		}
+		if o.InFlight() != 0 || o.QueueLen() != 0 {
+			t.Errorf("offloader %d left state: inflight=%d queue=%d", i, o.InFlight(), o.QueueLen())
+		}
+	}
+}
+
+// TestLongWaitParksOnSlotEvent: a wait far longer than the polling burst
+// must complete correctly through the parked path.
+func TestLongWaitParksOnSlotEvent(t *testing.T) {
+	r := newRig(2)
+	var gotByte byte
+	r.k.Go("app0", func(tk *vclock.Task) {
+		got := make([]byte, 1)
+		h := r.offs[0].Submit(tk, func(ot *vclock.Task) proto.Req {
+			return r.engs[0].Irecv(ot, got, 1, 0, 0)
+		})
+		r.offs[0].Wait(tk, h) // sender arrives 20 ms later
+		gotByte = got[0]
+	})
+	r.k.Go("app1", func(tk *vclock.Task) {
+		// Generate lots of unrelated activity so app0 exhausts its polling
+		// burst, then finally satisfy the receive.
+		for i := 0; i < 100; i++ {
+			h := r.offs[1].Submit(tk, func(ot *vclock.Task) proto.Req {
+				return r.engs[1].Isend(ot, []byte{9}, 1, 777+i, 0)
+			})
+			r.offs[1].Wait(tk, h)
+			tk.Sleep(200_000)
+		}
+		h := r.offs[1].Submit(tk, func(ot *vclock.Task) proto.Req {
+			return r.engs[1].Isend(ot, []byte{42}, 0, 0, 0)
+		})
+		r.offs[1].Wait(tk, h)
+		// Drain the 100 unrelated sends so the run ends cleanly.
+		for i := 0; i < 100; i++ {
+			got := make([]byte, 1)
+			h := r.offs[1].Submit(tk, func(ot *vclock.Task) proto.Req {
+				return r.engs[1].Irecv(ot, got, 1, 777+i, 0)
+			})
+			r.offs[1].Wait(tk, h)
+		}
+	})
+	r.k.Run()
+	if gotByte != 42 {
+		t.Fatalf("parked wait returned %d, want 42", gotByte)
+	}
+}

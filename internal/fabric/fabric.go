@@ -1,0 +1,161 @@
+// Package fabric models the cluster interconnect in virtual time.
+//
+// Each rank owns a NIC with an injection (tx) and ejection (rx) port.
+// A message sent at time t from src to dst is delivered to dst's inbox at
+//
+//	txStart = max(t, txBusy[src])         // injection serialization
+//	txEnd   = txStart + bytes/bw
+//	rxEnd   = max(txEnd + latency,        // wire pipeline (cut-through)
+//	              rxBusy[dst] + bytes/bw) // ejection serialization (incast)
+//
+// which captures the three first-order effects the paper's experiments
+// depend on: per-message latency, point-to-point bandwidth, and receiver-
+// side congestion under fan-in (all-to-all). Global bisection contention
+// for all-to-all traffic is modelled by an explicit per-send bandwidth
+// divisor supplied by the collective algorithms (see model.CongestionFactor).
+//
+// Delivery runs as a vclock timer callback — a zero-CPU hardware agent —
+// so the receiving rank spends no simulated CPU until its MPI progress
+// engine actually processes the arrival. That asymmetry (the NIC delivers,
+// software must notice) is precisely what creates the asynchronous-progress
+// problem this paper addresses.
+//
+// Payloads carry real bytes: the simulation moves actual data between rank
+// address spaces so that applications compute real answers.
+package fabric
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mpioffload/internal/model"
+	"mpioffload/internal/vclock"
+)
+
+// Packet is one message in flight. Payload is interpreted by the protocol
+// layer (internal/proto).
+type Packet struct {
+	Src, Dst int
+	Bytes    int // size on the wire
+	Payload  any
+}
+
+// Stats accumulates per-fabric traffic counters.
+type Stats struct {
+	Msgs  int64
+	Bytes int64
+}
+
+// Fabric connects n ranks. It is not safe for use outside the owning
+// kernel's scheduler (like everything in the simulation).
+type Fabric struct {
+	k       *vclock.Kernel
+	prof    *model.Profile
+	n       int
+	txBusy  []float64
+	rxBusy  []float64
+	shmBusy []float64 // per-rank shared-memory channel serialization
+	sink    []func(*Packet)
+	nodeOf  []int
+	stats   Stats
+	wins    map[[2]int]any
+	jitter  *rand.Rand
+}
+
+// New builds a fabric for n ranks using profile p. Ranks are assigned to
+// nodes round-robin-contiguously: rank r lives on node r / p.RanksPerNode.
+func New(k *vclock.Kernel, p *model.Profile, n int) *Fabric {
+	f := &Fabric{
+		k:       k,
+		prof:    p,
+		n:       n,
+		txBusy:  make([]float64, n),
+		rxBusy:  make([]float64, n),
+		shmBusy: make([]float64, n),
+		sink:    make([]func(*Packet), n),
+		nodeOf:  make([]int, n),
+	}
+	for r := 0; r < n; r++ {
+		f.nodeOf[r] = r / p.RanksPerNode
+	}
+	if p.LinkJitter > 0 {
+		f.jitter = rand.New(rand.NewSource(0x5eed))
+	}
+	return f
+}
+
+// Size reports the number of ranks.
+func (f *Fabric) Size() int { return f.n }
+
+// Nodes reports the number of distinct nodes.
+func (f *Fabric) Nodes() int { return (f.n + f.prof.RanksPerNode - 1) / f.prof.RanksPerNode }
+
+// NodeOf reports the node hosting a rank.
+func (f *Fabric) NodeOf(rank int) int { return f.nodeOf[rank] }
+
+// Bind registers the delivery sink for a rank (called once by the protocol
+// engine). The sink runs in timer-callback context: it must not block.
+func (f *Fabric) Bind(rank int, sink func(*Packet)) {
+	if f.sink[rank] != nil {
+		panic(fmt.Sprintf("fabric: rank %d bound twice", rank))
+	}
+	f.sink[rank] = sink
+}
+
+// Stats returns traffic counters.
+func (f *Fabric) Stats() Stats { return f.stats }
+
+// Send injects a packet. bwDiv >= 1 divides the effective bandwidth for this
+// message (bisection contention for all-to-all phases; pass 1 for
+// point-to-point). Delivery is asynchronous; the sending task is not blocked
+// (injection-port serialization is accounted in the busy-until clock, which
+// models an eagerly-draining send DMA queue).
+func (f *Fabric) Send(src, dst, bytes int, bwDiv float64, payload any) {
+	if f.sink[dst] == nil {
+		panic(fmt.Sprintf("fabric: rank %d has no sink", dst))
+	}
+	if bwDiv < 1 {
+		bwDiv = 1
+	}
+	now := float64(f.k.Now())
+	pkt := &Packet{Src: src, Dst: dst, Bytes: bytes, Payload: payload}
+	f.stats.Msgs++
+	f.stats.Bytes += int64(bytes)
+
+	var rxEnd float64
+	if f.nodeOf[src] == f.nodeOf[dst] {
+		// Intra-node: shared-memory transport, no NIC involvement. The
+		// destination's shm channel serializes so that per-pair delivery
+		// order matches send order (MPI non-overtaking relies on it).
+		rxEnd = max(now+f.prof.ShmLatency, f.shmBusy[dst]) + float64(bytes)/f.prof.ShmBW
+		f.shmBusy[dst] = rxEnd
+	} else {
+		bw := f.prof.LinkBW / bwDiv
+		lat := f.prof.LinkLatency
+		if f.jitter != nil {
+			lat *= 1 + f.prof.LinkJitter*(2*f.jitter.Float64()-1)
+		}
+		txStart := max(now, f.txBusy[src])
+		txEnd := txStart + float64(bytes)/bw
+		f.txBusy[src] = txEnd
+		rxEnd = max(txEnd+lat, f.rxBusy[dst]+float64(bytes)/bw)
+		f.rxBusy[dst] = rxEnd
+	}
+	f.k.AfterF(rxEnd-now, func() { f.sink[dst](pkt) })
+}
+
+// RegisterWin records an RMA window buffer exposed by a rank; LookupWin
+// retrieves it for one-sided access from any rank (the fabric is the one
+// cluster-wide structure, standing in for registered/pinned memory).
+func (f *Fabric) RegisterWin(winID, rank int, win any) {
+	if f.wins == nil {
+		f.wins = make(map[[2]int]any)
+	}
+	f.wins[[2]int{winID, rank}] = win
+}
+
+// LookupWin returns the window registered by rank under winID (nil if
+// absent).
+func (f *Fabric) LookupWin(winID, rank int) any {
+	return f.wins[[2]int{winID, rank}]
+}

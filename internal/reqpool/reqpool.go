@@ -1,0 +1,123 @@
+// Package reqpool implements the lock-free MPI_Request pool of the offload
+// infrastructure (paper §3.1):
+//
+//	"We address this by allocating an array of MPI_Request objects within
+//	 the offload infrastructure; we assign a free object from this pool to
+//	 each nonblocking call and return its index to the application as the
+//	 MPI_Request. We maintain this pool as an array-based singly linked
+//	 list in order to minimize allocation and free time."
+//
+// The free list is a Treiber stack of array indices. The head word packs a
+// 32-bit generation counter with the index to defeat ABA. Get and Put are
+// lock-free and safe for concurrent use by any number of threads (§3.3
+// converts the pool to lock-free so MPI_THREAD_MULTIPLE callers scale).
+//
+// Each slot carries a done flag (paper §3.2): the offload thread sets it
+// when the underlying MPI operation completes, and application Wait/Test
+// calls merely observe it.
+package reqpool
+
+import (
+	"sync/atomic"
+)
+
+// None is the index returned by Get when the pool is exhausted.
+const None = -1
+
+const idxBits = 32
+
+// Pool is a fixed-size lock-free pool of request slots, addressed by index.
+type Pool struct {
+	head atomic.Uint64  // generation<<32 | (index+1); 0 means empty
+	next []atomic.Int64 // free-list links: index+1, 0 terminates
+	done []atomic.Uint32
+	size int
+}
+
+// New returns a pool with n slots, all free.
+func New(n int) *Pool {
+	if n < 1 {
+		panic("reqpool: size < 1")
+	}
+	if n >= 1<<(idxBits-1) {
+		panic("reqpool: size too large")
+	}
+	p := &Pool{
+		next: make([]atomic.Int64, n),
+		done: make([]atomic.Uint32, n),
+		size: n,
+	}
+	// Chain 0 -> 1 -> ... -> n-1.
+	for i := 0; i < n-1; i++ {
+		p.next[i].Store(int64(i + 2)) // stored as index+1
+	}
+	p.next[n-1].Store(0)
+	p.head.Store(pack(0, 1)) // head of the free list is slot 0
+	return p
+}
+
+func pack(gen uint32, idxPlus1 int64) uint64 {
+	return uint64(gen)<<idxBits | uint64(uint32(idxPlus1))
+}
+
+func unpack(w uint64) (gen uint32, idxPlus1 int64) {
+	return uint32(w >> idxBits), int64(uint32(w))
+}
+
+// Size reports the total number of slots.
+func (p *Pool) Size() int { return p.size }
+
+// Get pops a free slot index, or returns None if the pool is exhausted.
+// The slot's done flag is reset before it is returned.
+func (p *Pool) Get() int {
+	for {
+		old := p.head.Load()
+		gen, ip1 := unpack(old)
+		if ip1 == 0 {
+			return None
+		}
+		idx := int(ip1 - 1)
+		next := p.next[idx].Load()
+		if p.head.CompareAndSwap(old, pack(gen+1, next)) {
+			p.done[idx].Store(0)
+			return idx
+		}
+	}
+}
+
+// Put returns a slot to the free list. The caller must own the slot (it must
+// have come from Get and not been Put since).
+func (p *Pool) Put(idx int) {
+	if idx < 0 || idx >= p.size {
+		panic("reqpool: Put of invalid index")
+	}
+	for {
+		old := p.head.Load()
+		gen, ip1 := unpack(old)
+		p.next[idx].Store(ip1)
+		if p.head.CompareAndSwap(old, pack(gen+1, int64(idx)+1)) {
+			return
+		}
+	}
+}
+
+// SetDone marks the slot's operation complete (offload-thread side).
+func (p *Pool) SetDone(idx int) { p.done[idx].Store(1) }
+
+// Done reports whether the slot's operation has completed (caller side).
+func (p *Pool) Done(idx int) bool { return p.done[idx].Load() != 0 }
+
+// FreeCount walks the free list and reports its length. It is intended for
+// tests and diagnostics on a quiescent pool; it is not thread-safe.
+func (p *Pool) FreeCount() int {
+	_, ip1 := unpack(p.head.Load())
+	n := 0
+	for ip1 != 0 {
+		n++
+		if n > p.size {
+			panic("reqpool: free-list cycle")
+		}
+		ip1 = p.next[ip1-1].Load()
+	}
+	return n
+}

@@ -1,0 +1,188 @@
+package reqpool
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestGetAllThenExhaust(t *testing.T) {
+	p := New(4)
+	seen := make(map[int]bool)
+	for i := 0; i < 4; i++ {
+		idx := p.Get()
+		if idx == None {
+			t.Fatalf("pool exhausted after %d", i)
+		}
+		if seen[idx] {
+			t.Fatalf("duplicate index %d", idx)
+		}
+		seen[idx] = true
+	}
+	if p.Get() != None {
+		t.Fatal("expected exhaustion")
+	}
+	if p.FreeCount() != 0 {
+		t.Fatalf("free count %d, want 0", p.FreeCount())
+	}
+}
+
+func TestPutRestores(t *testing.T) {
+	p := New(3)
+	a, b, c := p.Get(), p.Get(), p.Get()
+	p.Put(b)
+	if got := p.Get(); got != b {
+		t.Fatalf("LIFO violated: got %d want %d", got, b)
+	}
+	p.Put(a)
+	p.Put(b)
+	p.Put(c)
+	if p.FreeCount() != 3 {
+		t.Fatalf("free count %d, want 3", p.FreeCount())
+	}
+}
+
+func TestDoneFlagLifecycle(t *testing.T) {
+	p := New(2)
+	idx := p.Get()
+	if p.Done(idx) {
+		t.Fatal("fresh slot already done")
+	}
+	p.SetDone(idx)
+	if !p.Done(idx) {
+		t.Fatal("done flag not set")
+	}
+	p.Put(idx)
+	idx2 := p.Get()
+	if idx2 != idx {
+		t.Fatalf("expected recycled slot %d, got %d", idx, idx2)
+	}
+	if p.Done(idx2) {
+		t.Fatal("done flag not reset on reuse")
+	}
+}
+
+func TestPutInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2).Put(7)
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for size 0")
+		}
+	}()
+	New(0)
+}
+
+// TestConcurrentUniqueOwnership checks under real goroutine concurrency that
+// no index is ever owned by two goroutines at once.
+func TestConcurrentUniqueOwnership(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	const workers = 8
+	const iters = 20000
+	p := New(workers * 2)
+	owners := make([]int32, p.Size())
+	var mu sync.Mutex
+	violations := 0
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			held := make([]int, 0, 2)
+			for i := 0; i < iters; i++ {
+				if len(held) < 2 {
+					if idx := p.Get(); idx != None {
+						// Claim ownership; any concurrent claim is a bug.
+						o := owners[idx]
+						owners[idx] = o + 1
+						if o != 0 {
+							mu.Lock()
+							violations++
+							mu.Unlock()
+						}
+						held = append(held, idx)
+						continue
+					}
+				}
+				if len(held) > 0 {
+					idx := held[len(held)-1]
+					held = held[:len(held)-1]
+					owners[idx]--
+					p.Put(idx)
+				}
+			}
+			for _, idx := range held {
+				owners[idx]--
+				p.Put(idx)
+			}
+		}()
+	}
+	wg.Wait()
+	if violations != 0 {
+		t.Fatalf("%d double-ownership violations", violations)
+	}
+	if got := p.FreeCount(); got != p.Size() {
+		t.Fatalf("free count %d, want %d", got, p.Size())
+	}
+}
+
+// TestQuickGetPutConservation: any interleaving of Gets and Puts conserves
+// slots — outstanding + free == size.
+func TestQuickGetPutConservation(t *testing.T) {
+	f := func(ops []bool) bool {
+		p := New(6)
+		var held []int
+		for _, get := range ops {
+			if get {
+				idx := p.Get()
+				if idx == None {
+					if len(held) != p.Size() {
+						return false
+					}
+					continue
+				}
+				for _, h := range held {
+					if h == idx {
+						return false // duplicate
+					}
+				}
+				held = append(held, idx)
+			} else if len(held) > 0 {
+				p.Put(held[0])
+				held = held[1:]
+			}
+		}
+		return p.FreeCount() == p.Size()-len(held)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGetPut(b *testing.B) {
+	p := New(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		idx := p.Get()
+		p.Put(idx)
+	}
+}
+
+func BenchmarkGetPutContended(b *testing.B) {
+	p := New(4096)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if idx := p.Get(); idx != None {
+				p.Put(idx)
+			}
+		}
+	})
+}

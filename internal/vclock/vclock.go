@@ -1,0 +1,405 @@
+// Package vclock implements a deterministic virtual-time execution kernel.
+//
+// Simulated entities (MPI ranks, application threads, offload threads, NICs)
+// run as cooperative tasks. Each task is backed by a goroutine, but the
+// kernel runs exactly one task at a time and hands control back and forth
+// through channels, so execution is sequential and fully deterministic:
+// the event heap is ordered by (virtual time, spawn sequence).
+//
+// Virtual time is in integer nanoseconds. Tasks advance time explicitly
+// with Sleep, or block on Events and Resources; nothing else consumes
+// virtual time.
+package vclock
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time = int64
+
+// killed is the sentinel panic value used to unwind task goroutines when the
+// kernel shuts down while they are still blocked.
+type killedPanic struct{}
+
+// Kernel is a deterministic cooperative scheduler over virtual time.
+// The zero value is not usable; call NewKernel.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	sched   chan struct{} // task -> scheduler handoff
+	current *Task
+	tasks   []*Task // all spawned tasks (live and dead)
+	live    int     // live non-daemon tasks
+	blocked int     // tasks blocked on events/resources (not in heap)
+	stopped bool
+	running bool
+	failure any // panic value captured from a task, re-raised by Run
+}
+
+// NewKernel returns an empty kernel at virtual time zero.
+func NewKernel() *Kernel {
+	return &Kernel{sched: make(chan struct{})}
+}
+
+// Now reports the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Task is a cooperative thread of execution in virtual time. All Task
+// methods must be called from within the task's own function; they yield to
+// the scheduler and resume when the kernel re-schedules the task.
+type Task struct {
+	k       *Kernel
+	Name    string
+	id      uint64
+	wake    chan struct{}
+	daemon  bool
+	dead    bool
+	killedF bool
+	granted bool // used by Resource FIFO handoff
+	where   string
+}
+
+type event struct {
+	at   Time
+	seq  uint64
+	task *Task
+	fn   func() // timer callback (mutually exclusive with task)
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (k *Kernel) push(t *Task, at Time) {
+	k.seq++
+	heap.Push(&k.events, event{at: at, seq: k.seq, task: t})
+}
+
+// After schedules fn to run at virtual time now+d on the scheduler itself.
+// fn must not block or sleep; it may signal events, acquire nothing, and
+// schedule further callbacks. Callbacks model asynchronous hardware agents
+// (NIC packet delivery, DMA completion) that consume no simulated CPU.
+// Pending callbacks do not keep the simulation alive.
+func (k *Kernel) After(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	k.seq++
+	heap.Push(&k.events, event{at: k.now + d, seq: k.seq, fn: fn})
+}
+
+// AfterF is After with a float64 nanosecond delay, rounded to nearest.
+func (k *Kernel) AfterF(ns float64, fn func()) {
+	if ns < 0 {
+		ns = 0
+	}
+	k.After(Time(ns+0.5), fn)
+}
+
+// Go spawns a new task that becomes runnable at the current virtual time.
+// It may be called before Run or from within a running task.
+func (k *Kernel) Go(name string, fn func(t *Task)) *Task {
+	return k.spawn(name, false, fn)
+}
+
+// GoDaemon spawns a daemon task. Daemon tasks (e.g. polling offload threads)
+// do not keep the simulation alive: Run returns once all non-daemon tasks
+// have finished, and remaining daemons are torn down.
+func (k *Kernel) GoDaemon(name string, fn func(t *Task)) *Task {
+	return k.spawn(name, true, fn)
+}
+
+func (k *Kernel) spawn(name string, daemon bool, fn func(t *Task)) *Task {
+	if k.stopped {
+		panic("vclock: spawn on stopped kernel")
+	}
+	k.seq++
+	t := &Task{k: k, Name: name, id: k.seq, wake: make(chan struct{})}
+	t.daemon = daemon
+	k.tasks = append(k.tasks, t)
+	if !daemon {
+		k.live++
+	}
+	go func() {
+		<-t.wake // wait for first scheduling
+		if t.killedF {
+			t.finish()
+			return
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(killedPanic); ok {
+					t.finish()
+					return
+				}
+				// Hand the failure to the scheduler goroutine; Run
+				// re-raises it so callers (and tests) can recover it.
+				k.failure = r
+				t.finish()
+				return
+			}
+		}()
+		fn(t)
+		t.dead = true
+		if !t.daemon {
+			k.live--
+		}
+		k.sched <- struct{}{} // return control to scheduler
+	}()
+	k.push(t, k.now)
+	return t
+}
+
+// finish tears down a killed task goroutine without touching kernel state
+// (the kernel is already shutting down).
+func (t *Task) finish() {
+	t.dead = true
+	t.k.sched <- struct{}{}
+}
+
+// Run executes the simulation until all non-daemon tasks have finished.
+// It returns the final virtual time. Run panics with a diagnostic if the
+// simulation deadlocks (live tasks remain but no events are scheduled).
+func (k *Kernel) Run() Time {
+	if k.running || k.stopped {
+		panic("vclock: Run called twice")
+	}
+	k.running = true
+	for k.live > 0 {
+		if len(k.events) == 0 {
+			panic("vclock: deadlock: " + k.blockedReport())
+		}
+		e := heap.Pop(&k.events).(event)
+		if e.at < k.now {
+			panic("vclock: time went backwards")
+		}
+		if e.fn != nil {
+			k.now = e.at
+			e.fn()
+			continue
+		}
+		if e.task.dead {
+			continue
+		}
+		k.now = e.at
+		k.resume(e.task)
+		if k.failure != nil {
+			f := k.failure
+			k.failure = nil
+			k.shutdown()
+			panic(f)
+		}
+	}
+	k.shutdown()
+	return k.now
+}
+
+// resume hands control to t and waits for it to yield back.
+func (k *Kernel) resume(t *Task) {
+	k.current = t
+	t.wake <- struct{}{}
+	<-k.sched
+	k.current = nil
+}
+
+// shutdown kills every remaining task goroutine (daemons and tasks blocked
+// forever) so repeated simulations do not leak goroutines.
+func (k *Kernel) shutdown() {
+	k.stopped = true
+	// Kill tasks still in the heap.
+	for len(k.events) > 0 {
+		e := heap.Pop(&k.events).(event)
+		if e.task != nil && !e.task.dead {
+			e.task.killedF = true
+			k.resume(e.task)
+		}
+	}
+	// Kill tasks blocked on events/resources.
+	for _, t := range k.tasks {
+		if !t.dead {
+			t.killedF = true
+			k.resume(t)
+		}
+	}
+}
+
+func (k *Kernel) blockedReport() string {
+	var names []string
+	for _, t := range k.tasks {
+		if !t.dead && !t.daemon {
+			names = append(names, fmt.Sprintf("%s@%s", t.Name, t.where))
+		}
+	}
+	sort.Strings(names)
+	return fmt.Sprintf("%d task(s) blocked: %v", len(names), names)
+}
+
+// yield returns control to the scheduler and blocks until rescheduled.
+func (t *Task) yield(where string) {
+	t.where = where
+	t.k.sched <- struct{}{}
+	<-t.wake
+	if t.killedF {
+		panic(killedPanic{})
+	}
+}
+
+// Now reports the current virtual time.
+func (t *Task) Now() Time { return t.k.now }
+
+// Kernel returns the kernel this task runs on.
+func (t *Task) Kernel() *Kernel { return t.k }
+
+// Sleep advances the task's virtual time by d nanoseconds (d <= 0 yields
+// without advancing time, still consuming one scheduling slot).
+func (t *Task) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	if t.k.now > math.MaxInt64-d {
+		panic("vclock: time overflow")
+	}
+	t.k.push(t, t.k.now+d)
+	t.yield("sleep")
+}
+
+// SleepF advances virtual time by a float64 nanosecond duration, rounding
+// to the nearest nanosecond. Convenient for cost-model arithmetic.
+func (t *Task) SleepF(ns float64) {
+	if ns < 0 {
+		ns = 0
+	}
+	t.Sleep(Time(ns + 0.5))
+}
+
+// Event is a broadcast condition in virtual time. Waiters are woken in FIFO
+// order at the moment Broadcast or Signal is called. Typical use follows the
+// condition-variable pattern:
+//
+//	for !ready() { task.Wait(ev) }
+type Event struct {
+	name    string
+	waiters []*Task
+}
+
+// NewEvent returns a named event (name appears in deadlock reports).
+func NewEvent(name string) *Event { return &Event{name: name} }
+
+// Wait blocks the task until the event is next signalled.
+func (t *Task) Wait(e *Event) {
+	e.waiters = append(e.waiters, t)
+	t.yield("wait:" + e.name)
+}
+
+// Broadcast wakes all current waiters; they become runnable at the current
+// virtual time in the order they began waiting.
+func (e *Event) Broadcast(k *Kernel) {
+	for _, w := range e.waiters {
+		if !w.dead {
+			k.push(w, k.now)
+		}
+	}
+	e.waiters = e.waiters[:0]
+}
+
+// Signal wakes the longest-waiting waiter, if any.
+func (e *Event) Signal(k *Kernel) {
+	for len(e.waiters) > 0 {
+		w := e.waiters[0]
+		e.waiters = e.waiters[1:]
+		if !w.dead {
+			k.push(w, k.now)
+			return
+		}
+	}
+}
+
+// Waiters reports how many tasks are blocked on the event.
+func (e *Event) Waiters() int { return len(e.waiters) }
+
+// Resource is a counted resource with strict FIFO admission (no barging):
+// the simulated MPI global lock and NIC injection ports are Resources.
+type Resource struct {
+	name    string
+	cap     int
+	inUse   int
+	waiters []*Task
+}
+
+// NewResource returns a resource with the given capacity (cap >= 1).
+func NewResource(name string, capacity int) *Resource {
+	if capacity < 1 {
+		panic("vclock: resource capacity < 1")
+	}
+	return &Resource{name: name, cap: capacity}
+}
+
+// Acquire blocks until a unit of the resource is granted to the task.
+// Grants are strictly FIFO.
+func (t *Task) Acquire(r *Resource) {
+	if r.inUse < r.cap && len(r.waiters) == 0 {
+		r.inUse++
+		return
+	}
+	r.waiters = append(r.waiters, t)
+	t.granted = false
+	for !t.granted {
+		t.yield("acquire:" + r.name)
+	}
+}
+
+// TryAcquire acquires a unit if immediately available, reporting success.
+func (t *Task) TryAcquire(r *Resource) bool {
+	if r.inUse < r.cap && len(r.waiters) == 0 {
+		r.inUse++
+		return true
+	}
+	return false
+}
+
+// Release returns a unit of the resource, handing it directly to the head
+// waiter if one exists.
+func (t *Task) Release(r *Resource) {
+	if r.inUse <= 0 {
+		panic("vclock: release of idle resource " + r.name)
+	}
+	for len(r.waiters) > 0 {
+		w := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		if w.dead {
+			continue
+		}
+		// Ownership transfers directly: inUse stays constant.
+		w.granted = true
+		t.k.push(w, t.k.now)
+		return
+	}
+	r.inUse--
+}
+
+// InUse reports the number of units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen reports the number of tasks waiting for the resource.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// Hold acquires the resource, sleeps for d, and releases it — the common
+// pattern for modelling work performed under a lock.
+func (t *Task) Hold(r *Resource, d Time) {
+	t.Acquire(r)
+	t.Sleep(d)
+	t.Release(r)
+}

@@ -1,0 +1,174 @@
+package mpi
+
+import (
+	"mpioffload/internal/coll"
+	"mpioffload/internal/proto"
+	"mpioffload/internal/vclock"
+)
+
+// ReduceOp is an element-wise reduction operator over raw buffers; use the
+// typed operators in this package (SumFloat64, MaxFloat64, SumInt64, ...).
+type ReduceOp = coll.Combine
+
+// icoll routes a collective-schedule constructor through the configured
+// path (direct, locked, or offloaded) and wraps it as a Request.
+func (c *Comm) icoll(mk func(t *vclock.Task) proto.Req) Request {
+	st := c.st
+	if st.off != nil {
+		h := st.off.Submit(c.t, mk)
+		return Request{off: st.off, h: h}
+	}
+	if st.locked {
+		st.eng.EnterLock(c.t)
+		defer st.eng.ExitLock(c.t)
+	}
+	return Request{direct: mk(c.t)}
+}
+
+// Ibarrier starts a nonblocking barrier.
+func (c *Comm) Ibarrier() Request {
+	g, tag := c.group(), c.nextCollTag()
+	return c.icoll(func(t *vclock.Task) proto.Req {
+		return coll.Ibarrier(t, c.st.eng, g, tag)
+	})
+}
+
+// Barrier blocks until all ranks of the communicator reach it.
+func (c *Comm) Barrier() {
+	r := c.Ibarrier()
+	c.Wait(&r)
+}
+
+// Ibcast starts a nonblocking broadcast of buf from root.
+func (c *Comm) Ibcast(buf []byte, root int) Request {
+	g, tag := c.group(), c.nextCollTag()
+	return c.icoll(func(t *vclock.Task) proto.Req {
+		return coll.Ibcast(t, c.st.eng, g, buf, root, tag)
+	})
+}
+
+// Bcast broadcasts buf from root to all ranks.
+func (c *Comm) Bcast(buf []byte, root int) {
+	r := c.Ibcast(buf, root)
+	c.Wait(&r)
+}
+
+// Ireduce starts a nonblocking reduction of buf to root (in place; the
+// root's buf holds the result on completion).
+func (c *Comm) Ireduce(buf []byte, op ReduceOp, root int) Request {
+	g, tag := c.group(), c.nextCollTag()
+	return c.icoll(func(t *vclock.Task) proto.Req {
+		return coll.Ireduce(t, c.st.eng, g, buf, op, root, tag)
+	})
+}
+
+// Reduce reduces buf to root.
+func (c *Comm) Reduce(buf []byte, op ReduceOp, root int) {
+	r := c.Ireduce(buf, op, root)
+	c.Wait(&r)
+}
+
+// Iallreduce starts a nonblocking all-reduce of buf (in place on all
+// ranks). Small payloads use recursive doubling; payloads above
+// coll.RingThreshold use the bandwidth-optimal ring algorithm.
+func (c *Comm) Iallreduce(buf []byte, op ReduceOp) Request {
+	g, tag := c.group(), c.nextCollTag()
+	return c.icoll(func(t *vclock.Task) proto.Req {
+		return coll.IallreduceAuto(t, c.st.eng, g, buf, op, tag)
+	})
+}
+
+// Allreduce all-reduces buf in place on every rank.
+func (c *Comm) Allreduce(buf []byte, op ReduceOp) {
+	r := c.Iallreduce(buf, op)
+	c.Wait(&r)
+}
+
+// Igather starts a nonblocking gather of equal-sized blocks to root.
+// out must be Size()*len(block) bytes on the root (ignored elsewhere).
+func (c *Comm) Igather(block, out []byte, root int) Request {
+	g, tag := c.group(), c.nextCollTag()
+	return c.icoll(func(t *vclock.Task) proto.Req {
+		return coll.Igather(t, c.st.eng, g, block, out, root, tag)
+	})
+}
+
+// Gather gathers equal blocks to root.
+func (c *Comm) Gather(block, out []byte, root int) {
+	r := c.Igather(block, out, root)
+	c.Wait(&r)
+}
+
+// Iscatter starts a nonblocking scatter of equal blocks from root's in
+// buffer (Size()*len(block) bytes) into block everywhere.
+func (c *Comm) Iscatter(in, block []byte, root int) Request {
+	g, tag := c.group(), c.nextCollTag()
+	return c.icoll(func(t *vclock.Task) proto.Req {
+		return coll.Iscatter(t, c.st.eng, g, in, block, root, tag)
+	})
+}
+
+// Scatter scatters equal blocks from root.
+func (c *Comm) Scatter(in, block []byte, root int) {
+	r := c.Iscatter(in, block, root)
+	c.Wait(&r)
+}
+
+// Iallgather starts a nonblocking allgather: every rank contributes block
+// and receives all blocks, in rank order, into out (Size()*len(block)).
+func (c *Comm) Iallgather(block, out []byte) Request {
+	g, tag := c.group(), c.nextCollTag()
+	return c.icoll(func(t *vclock.Task) proto.Req {
+		return coll.Iallgather(t, c.st.eng, g, block, out, tag)
+	})
+}
+
+// Allgather gathers every rank's block to every rank.
+func (c *Comm) Allgather(block, out []byte) {
+	r := c.Iallgather(block, out)
+	c.Wait(&r)
+}
+
+// Ialltoall starts a nonblocking all-to-all of equal blocks of bs bytes:
+// send and recv are Size()*bs bytes; block r of send goes to rank r and
+// block r of recv comes from rank r.
+func (c *Comm) Ialltoall(send, recv []byte, bs int) Request {
+	g, tag := c.group(), c.nextCollTag()
+	return c.icoll(func(t *vclock.Task) proto.Req {
+		return coll.Ialltoall(t, c.st.eng, g, send, recv, bs, tag)
+	})
+}
+
+// Alltoall exchanges equal blocks between all ranks.
+func (c *Comm) Alltoall(send, recv []byte, bs int) {
+	r := c.Ialltoall(send, recv, bs)
+	c.Wait(&r)
+}
+
+// IalltoallBytes starts a phantom nonblocking all-to-all of bs-byte blocks.
+func (c *Comm) IalltoallBytes(bs int) Request {
+	g, tag := c.group(), c.nextCollTag()
+	return c.icoll(func(t *vclock.Task) proto.Req {
+		return coll.IalltoallN(t, c.st.eng, g, bs, tag)
+	})
+}
+
+// AlltoallBytes performs a phantom blocking all-to-all of bs-byte blocks.
+func (c *Comm) AlltoallBytes(bs int) {
+	r := c.IalltoallBytes(bs)
+	c.Wait(&r)
+}
+
+// IallreduceBytes starts a phantom nonblocking allreduce of n bytes.
+func (c *Comm) IallreduceBytes(n int) Request {
+	g, tag := c.group(), c.nextCollTag()
+	return c.icoll(func(t *vclock.Task) proto.Req {
+		return coll.IallreduceN(t, c.st.eng, g, n, tag)
+	})
+}
+
+// AllreduceBytes performs a phantom blocking allreduce of n bytes.
+func (c *Comm) AllreduceBytes(n int) {
+	r := c.IallreduceBytes(n)
+	c.Wait(&r)
+}

@@ -1,0 +1,271 @@
+package rt
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+func modes() []Mode { return []Mode{Direct, Offload} }
+
+func TestPingPongBothModes(t *testing.T) {
+	for _, m := range modes() {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			c := NewCluster(2, m)
+			defer c.Close()
+			var wg sync.WaitGroup
+			msg := []byte("real-time ping")
+			wg.Add(2)
+			go func() {
+				defer wg.Done()
+				r := c.Rank(0)
+				r.Send(msg, 1, 7)
+				buf := make([]byte, 64)
+				n := r.Recv(buf, 1, 8)
+				if !bytes.Equal(buf[:n], msg) {
+					t.Errorf("echo corrupted: %q", buf[:n])
+				}
+			}()
+			go func() {
+				defer wg.Done()
+				r := c.Rank(1)
+				buf := make([]byte, 64)
+				n := r.Recv(buf, 0, 7)
+				r.Send(buf[:n], 0, 8)
+			}()
+			wg.Wait()
+		})
+	}
+}
+
+func TestNonOvertakingPerPair(t *testing.T) {
+	for _, m := range modes() {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			c := NewCluster(2, m)
+			defer c.Close()
+			const k = 200
+			done := make(chan bool, 2)
+			go func() {
+				r := c.Rank(0)
+				for i := 0; i < k; i++ {
+					r.Send([]byte{byte(i)}, 1, 3)
+				}
+				done <- true
+			}()
+			go func() {
+				r := c.Rank(1)
+				buf := make([]byte, 1)
+				for i := 0; i < k; i++ {
+					r.Recv(buf, 0, 3)
+					if buf[0] != byte(i) {
+						t.Errorf("message %d overtaken: got %d", i, buf[0])
+						done <- false
+						return
+					}
+				}
+				done <- true
+			}()
+			if !<-done || !<-done {
+				t.FailNow()
+			}
+		})
+	}
+}
+
+func TestConcurrentThreadPairs(t *testing.T) {
+	// The THREAD_MULTIPLE scenario: several goroutines per rank
+	// communicate simultaneously on distinct tags.
+	for _, m := range modes() {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+			c := NewCluster(2, m)
+			defer c.Close()
+			const threads = 6
+			const iters = 50
+			var wg sync.WaitGroup
+			for th := 0; th < threads; th++ {
+				th := th
+				wg.Add(2)
+				go func() { // rank 0 side
+					defer wg.Done()
+					r := c.Rank(0)
+					buf := []byte{byte(th)}
+					in := make([]byte, 1)
+					for i := 0; i < iters; i++ {
+						r.Send(buf, 1, 100+th)
+						r.Recv(in, 1, 200+th)
+						if in[0] != byte(th+1) {
+							t.Errorf("thread %d got %d", th, in[0])
+							return
+						}
+					}
+				}()
+				go func() { // rank 1 side
+					defer wg.Done()
+					r := c.Rank(1)
+					in := make([]byte, 1)
+					out := []byte{byte(th + 1)}
+					for i := 0; i < iters; i++ {
+						r.Recv(in, 0, 100+th)
+						r.Send(out, 0, 200+th)
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}
+
+func TestUnexpectedMessagesBothModes(t *testing.T) {
+	for _, m := range modes() {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			c := NewCluster(2, m)
+			defer c.Close()
+			c.Rank(0).Send([]byte("early"), 1, 9)
+			time.Sleep(time.Millisecond) // let it arrive unexpected
+			buf := make([]byte, 8)
+			n := c.Rank(1).Recv(buf, 0, 9)
+			if string(buf[:n]) != "early" {
+				t.Fatalf("got %q", buf[:n])
+			}
+		})
+	}
+}
+
+func TestTestNonblocking(t *testing.T) {
+	c := NewCluster(2, Offload)
+	defer c.Close()
+	h := c.Rank(1).Irecv(make([]byte, 4), 0, 1)
+	if ok, _ := c.Rank(1).Test(h); ok {
+		t.Fatal("recv complete before send")
+	}
+	c.Rank(0).Send([]byte{1, 2, 3}, 1, 1)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if ok, n := c.Rank(1).Test(h); ok {
+			if n != 3 {
+				t.Fatalf("count %d", n)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("timeout")
+		}
+		runtime.Gosched()
+	}
+}
+
+func TestManyRanksRing(t *testing.T) {
+	const n = 8
+	for _, m := range modes() {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			c := NewCluster(n, m)
+			defer c.Close()
+			var wg sync.WaitGroup
+			for i := 0; i < n; i++ {
+				i := i
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					r := c.Rank(i)
+					token := []byte{byte(i)}
+					buf := make([]byte, 1)
+					r.Send(token, (i+1)%n, 0)
+					r.Recv(buf, (i-1+n)%n, 0)
+					if buf[0] != byte((i-1+n)%n) {
+						t.Errorf("rank %d got token %d", i, buf[0])
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkPostTime is the real-hardware analogue of Fig 4: the wall-clock
+// cost of issuing a nonblocking send, per mode. Under offload it is one
+// lock-free enqueue; under direct it is a mutex acquisition plus the
+// transport work.
+func BenchmarkPostTime(b *testing.B) {
+	for _, m := range modes() {
+		b.Run(m.String(), func(b *testing.B) {
+			c := NewCluster(2, m)
+			defer c.Close()
+			r := c.Rank(0)
+			sink := c.Rank(1)
+			go func() { // keep draining so queues never fill
+				buf := make([]byte, 64)
+				for !sink.stop.Load() {
+					h := sink.Irecv(buf, 0, 0)
+					sink.Wait(h)
+				}
+			}()
+			payload := make([]byte, 64)
+			hs := make([]Handle, 0, 64)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hs = append(hs, r.Isend(payload, 1, 0))
+				if len(hs) == cap(hs) {
+					b.StopTimer()
+					for _, h := range hs {
+						r.Wait(h)
+					}
+					hs = hs[:0]
+					b.StartTimer()
+				}
+			}
+			b.StopTimer()
+			for _, h := range hs {
+				r.Wait(h)
+			}
+		})
+	}
+}
+
+// BenchmarkMTLatency is the real-hardware analogue of Fig 6: concurrent
+// goroutine pairs ping-ponging; direct mode serializes on the rank mutex.
+func BenchmarkMTLatency(b *testing.B) {
+	for _, m := range modes() {
+		for _, threads := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/threads=%d", m, threads), func(b *testing.B) {
+				defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+				c := NewCluster(2, m)
+				defer c.Close()
+				var wg sync.WaitGroup
+				iters := b.N/threads + 1
+				b.ResetTimer()
+				for th := 0; th < threads; th++ {
+					th := th
+					wg.Add(2)
+					go func() {
+						defer wg.Done()
+						r := c.Rank(0)
+						buf := make([]byte, 8)
+						for i := 0; i < iters; i++ {
+							r.Send(buf, 1, th)
+							r.Recv(buf, 1, 1000+th)
+						}
+					}()
+					go func() {
+						defer wg.Done()
+						r := c.Rank(1)
+						buf := make([]byte, 8)
+						for i := 0; i < iters; i++ {
+							r.Recv(buf, 0, th)
+							r.Send(buf, 0, 1000+th)
+						}
+					}()
+				}
+				wg.Wait()
+			})
+		}
+	}
+}

@@ -1,0 +1,369 @@
+// Package sim builds and runs simulated MPI clusters.
+//
+// A cluster is a set of ranks on a virtual-time kernel, connected by the
+// modelled interconnect, each with a protocol engine and — depending on the
+// configured approach — a dedicated communication thread:
+//
+//	Baseline — MPI_THREAD_FUNNELED; the master thread makes all MPI calls
+//	           and progress happens only inside them (paper §2).
+//	Iprobe   — Baseline plus application-driven MPI_Iprobe progress calls
+//	           (the Env.Progress hook; paper §2.1).
+//	CommSelf — a progress thread sits in MPI on a dup of MPI_COMM_SELF,
+//	           forcing MPI_THREAD_MULTIPLE and its global lock (§2.2).
+//	Offload  — the paper's contribution (§3): a dedicated offload thread,
+//	           lock-free command queue and request pool.
+//	CoreSpec — a platform progress agent à la Cray core specialization
+//	           (compared in Fig 9b; only meaningful on the Edison profile).
+//
+// Application programs are functions of an Env; they run once per rank as
+// the rank's master thread and can fork thread teams (Env.Parallel) whose
+// members issue MPI calls concurrently (MPI_THREAD_MULTIPLE experiments).
+package sim
+
+import (
+	"fmt"
+
+	"mpioffload/internal/core"
+	"mpioffload/internal/fabric"
+	"mpioffload/internal/model"
+	"mpioffload/internal/proto"
+	"mpioffload/internal/vclock"
+	"mpioffload/mpi"
+)
+
+// Approach selects how ranks interact with MPI.
+type Approach int
+
+// The approaches compared throughout the paper's evaluation.
+const (
+	Baseline Approach = iota
+	Iprobe
+	CommSelf
+	Offload
+	CoreSpec
+)
+
+// String returns the paper's name for the approach.
+func (a Approach) String() string {
+	switch a {
+	case Baseline:
+		return "baseline"
+	case Iprobe:
+		return "iprobe"
+	case CommSelf:
+		return "comm-self"
+	case Offload:
+		return "offload"
+	case CoreSpec:
+		return "core-spec"
+	}
+	return fmt.Sprintf("approach(%d)", int(a))
+}
+
+// Approaches lists all approaches in presentation order.
+var Approaches = []Approach{Baseline, Iprobe, CommSelf, Offload}
+
+// ThreadLevel is the application's requested MPI threading level.
+type ThreadLevel int
+
+// Supported thread levels (Serialized behaves as Funneled here).
+const (
+	Funneled ThreadLevel = iota
+	Multiple
+)
+
+// Config describes a cluster run.
+type Config struct {
+	// Ranks is the number of MPI ranks (default 2).
+	Ranks int
+	// Approach selects the progress strategy (default Baseline).
+	Approach Approach
+	// ThreadLevel is the application's threading level. CommSelf forces
+	// Multiple (it needs a second thread inside MPI). Offload ignores it:
+	// application threads never enter MPI at all.
+	ThreadLevel ThreadLevel
+	// Profile is the platform cost profile (default model.Endeavor()).
+	Profile *model.Profile
+}
+
+// Result summarizes a cluster run.
+type Result struct {
+	// Elapsed is the virtual time at which the last rank finished.
+	Elapsed vclock.Time
+	// RankElapsed is each rank's finish time.
+	RankElapsed []vclock.Time
+	// Net is the fabric traffic summary.
+	Net fabric.Stats
+}
+
+// Env is one rank's execution environment (its master thread).
+type Env struct {
+	// World is the world communicator bound to the master thread.
+	World *mpi.Comm
+
+	k        *vclock.Kernel
+	t        *vclock.Task
+	eng      *proto.Engine
+	off      *core.Offloader
+	prof     *model.Profile
+	approach Approach
+	rank     int
+	size     int
+	hwThr    int     // integer application threads available
+	effThr   float64 // effective threads for aggregate compute
+}
+
+// Rank returns this rank's world rank.
+func (e *Env) Rank() int { return e.rank }
+
+// Size returns the world size.
+func (e *Env) Size() int { return e.size }
+
+// Nodes returns the number of physical nodes in the cluster.
+func (e *Env) Nodes() int { return (e.size + e.prof.RanksPerNode - 1) / e.prof.RanksPerNode }
+
+// Threads returns the number of application threads available to this rank
+// (one less than the core count when a communication thread is dedicated).
+func (e *Env) Threads() int { return e.hwThr }
+
+// Approach returns the rank's configured approach.
+func (e *Env) Approach() Approach { return e.approach }
+
+// Profile returns the platform profile.
+func (e *Env) Profile() *model.Profile { return e.prof }
+
+// Now returns the current virtual time in nanoseconds.
+func (e *Env) Now() vclock.Time { return e.t.Now() }
+
+// Task exposes the master thread's task (for benches and advanced use).
+func (e *Env) Task() *vclock.Task { return e.t }
+
+// Compute models a perfectly parallel compute phase of the given flops
+// spread over all available application threads. Approaches that dedicate
+// a communication thread have fewer threads, so the same flops take
+// slightly longer — the paper's "internal compute slowdown" (Table 1).
+func (e *Env) Compute(flops float64) {
+	e.t.SleepF(flops / (e.prof.ThreadFlops * e.effThr))
+}
+
+// ComputeTime advances this rank by an explicit duration (ns) of compute.
+func (e *Env) ComputeTime(ns float64) { e.t.SleepF(ns) }
+
+// ComputeWithProgress models a compute phase of total ns with the
+// application-driven progress hook invoked every chunk ns — the paper's
+// Listing 1 inner loops with PROGRESS statements. Under approaches other
+// than Iprobe the hook is free, so this degenerates to ComputeTime.
+func (e *Env) ComputeWithProgress(total, chunk float64) {
+	if e.approach != Iprobe || chunk <= 0 || chunk >= total {
+		e.ComputeTime(total)
+		if e.approach == Iprobe {
+			e.Progress()
+		}
+		return
+	}
+	done := 0.0
+	for done < total {
+		step := chunk
+		if total-done < step {
+			step = total - done
+		}
+		e.t.SleepF(step)
+		done += step
+		e.Progress()
+	}
+}
+
+// Progress is the application-driven progress hook: under the Iprobe
+// approach it issues an MPI_Iprobe (paper §2.1, Listing 1's PROGRESS);
+// under every other approach it is a no-op.
+func (e *Env) Progress() {
+	if e.approach == Iprobe {
+		e.World.Iprobe(mpi.AnySource, mpi.AnyTag)
+	}
+}
+
+// Thread is one member of a fork-join thread team.
+type Thread struct {
+	// ID is the thread index within the team (0 = master).
+	ID int
+	// Comm is the world communicator bound to this thread.
+	Comm *mpi.Comm
+	// Env is the owning rank environment.
+	Env *Env
+
+	t *vclock.Task
+}
+
+// Now returns the current virtual time.
+func (th *Thread) Now() vclock.Time { return th.t.Now() }
+
+// Task exposes the thread's task.
+func (th *Thread) Task() *vclock.Task { return th.t }
+
+// Compute models single-thread compute of the given flops.
+func (th *Thread) Compute(flops float64) {
+	th.t.SleepF(flops / th.Env.prof.ThreadFlops)
+}
+
+// ComputeTime advances this thread by an explicit duration (ns).
+func (th *Thread) ComputeTime(ns float64) { th.t.SleepF(ns) }
+
+// Parallel runs fn on every available application thread of the rank
+// (fork-join, like an OpenMP parallel region) and returns after all
+// members finish, charging the team-barrier cost.
+func (e *Env) Parallel(fn func(th *Thread)) { e.ParallelN(e.hwThr, fn) }
+
+// ParallelN runs fn on a team of n threads (thread 0 is the master).
+func (e *Env) ParallelN(n int, fn func(th *Thread)) {
+	if n < 1 {
+		n = 1
+	}
+	done := 0
+	join := vclock.NewEvent(fmt.Sprintf("join.%d", e.rank))
+	for i := 1; i < n; i++ {
+		i := i
+		e.k.Go(fmt.Sprintf("rank%d.thr%d", e.rank, i), func(t *vclock.Task) {
+			fn(&Thread{ID: i, Comm: e.World.Bind(t), Env: e, t: t})
+			done++
+			join.Broadcast(e.k)
+		})
+	}
+	fn(&Thread{ID: 0, Comm: e.World, Env: e, t: e.t})
+	for done < n-1 {
+		e.t.Wait(join)
+	}
+	e.t.SleepF(e.prof.OMPBarrier)
+}
+
+// Run builds the cluster and executes program once per rank, returning
+// when every rank's program has finished.
+func Run(cfg Config, program func(env *Env)) Result {
+	n := cfg.Ranks
+	if n <= 0 {
+		n = 2
+	}
+	prof := cfg.Profile
+	if prof == nil {
+		prof = model.Endeavor()
+	}
+	level := cfg.ThreadLevel
+	if cfg.Approach == CommSelf {
+		level = Multiple // comm-self requires MPI_THREAD_MULTIPLE (§2.2)
+	}
+	locked := level == Multiple && cfg.Approach != Offload
+
+	k := vclock.NewKernel()
+	fab := fabric.New(k, prof, n)
+	res := Result{RankElapsed: make([]vclock.Time, n)}
+
+	ranks := make([]int, n)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	nodes := fab.Nodes()
+
+	for r := 0; r < n; r++ {
+		r := r
+		eng := proto.NewEngine(k, fab, prof, r)
+		var off *core.Offloader
+		hw := prof.ThreadsPerRank
+		eff := float64(prof.ThreadsPerRank)
+		switch cfg.Approach {
+		case Offload:
+			off = core.New(k, eng)
+			hw--
+			eff -= prof.OffloadThreadCost
+		case CommSelf:
+			eng.HasAgent = true
+			spawnCommSelf(k, eng, prof, r)
+			hw--
+			eff -= prof.OffloadThreadCost
+		case CoreSpec:
+			eng.HasAgent = true
+			spawnCoreSpec(k, eng, prof, r)
+			hw--
+			eff -= prof.OffloadThreadCost
+		}
+		if hw < 1 {
+			hw = 1
+		}
+		if eff < 1 {
+			eff = 1
+		}
+		k.Go(fmt.Sprintf("rank%d", r), func(t *vclock.Task) {
+			env := &Env{
+				k: k, t: t, eng: eng, off: off, prof: prof,
+				approach: cfg.Approach, rank: r, size: n,
+				hwThr: hw, effThr: eff,
+			}
+			env.World = mpi.NewComm(t, eng, off, locked, 0, ranks, r, nodes)
+			program(env)
+			res.RankElapsed[r] = t.Now()
+		})
+	}
+	res.Elapsed = k.Run()
+	res.Net = fab.Stats()
+	return res
+}
+
+// spawnCommSelf starts the §2.2 progress thread: it sits "inside MPI"
+// (holding the global lock in bursts) whenever there has been recent
+// communication activity, and parks when the rank goes quiet.
+func spawnCommSelf(k *vclock.Kernel, eng *proto.Engine, p *model.Profile, rank int) {
+	k.GoDaemon(fmt.Sprintf("commself.%d", rank), func(t *vclock.Task) {
+		misses := 0
+		for {
+			seq := eng.Seq()
+			eng.EnterLock(t)
+			t.SleepF(p.CommSelfHold) // burst inside the progress engine
+			eng.Progress(t)
+			eng.ExitLock(t)
+			if eng.Seq() != seq {
+				// Something happened: keep hammering the lock — this is
+				// the contention the master thread suffers under §2.2.
+				misses = 0
+				t.SleepF(p.CommSelfGap)
+				continue
+			}
+			misses++
+			if misses < 3 {
+				t.SleepF(p.CommSelfGap)
+				continue
+			}
+			// The rank has gone quiet; park until the next arrival (the
+			// real thread stays blocked in MPI_Recv, but an idle progress
+			// engine exerts no contention, so parking is equivalent).
+			s := eng.Seq()
+			eng.AwaitChange(t, s)
+			misses = 0
+		}
+	})
+}
+
+// spawnCoreSpec starts a platform progress agent in the style of Cray core
+// specialization: it drives the progress engine on a reserved core at a
+// fixed cadence, without the comm-self lock pathology but also without the
+// offload thread's immediacy.
+func spawnCoreSpec(k *vclock.Kernel, eng *proto.Engine, p *model.Profile, rank int) {
+	quantum := p.CoreSpecQuantum
+	if quantum <= 0 {
+		quantum = 2500
+	}
+	k.GoDaemon(fmt.Sprintf("corespec.%d", rank), func(t *vclock.Task) {
+		lastAct := t.Now()
+		for {
+			seq := eng.Seq()
+			eng.Progress(t)
+			if eng.Seq() != seq {
+				lastAct = t.Now()
+			}
+			if t.Now()-lastAct > vclock.Time(p.CommSelfWindow) {
+				s := eng.Seq()
+				eng.AwaitChange(t, s)
+				lastAct = t.Now()
+			} else {
+				t.SleepF(quantum)
+			}
+		}
+	})
+}
