@@ -1,0 +1,28 @@
+# Tier-1 gate: everything `make ci` runs must stay green.
+#
+#   make ci      vet + build + full test suite + race subset
+#   make vet     go vet ./...
+#   make build   go build ./...
+#   make test    go test ./...
+#   make race    race detector on the packages with real goroutine
+#                concurrency (lock-free queue, request pool, rt layer);
+#                the virtual-time sim is single-threaded by construction
+#                and gains nothing from -race.
+
+GO ?= go
+
+.PHONY: ci vet build test race
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/queue/... ./internal/reqpool/... ./rt/...

@@ -51,7 +51,7 @@ func OverlapP2P(cfg sim.Config, sizes []int, iters int) []OverlapResult {
 	for _, size := range sizes {
 		size := size
 		var res OverlapResult
-		sim.Run(cfg, func(env *Env) { overlapOne(env, size, iters, &res) })
+		run(cfg, func(env *Env) { overlapOne(env, size, iters, &res) })
 		out = append(out, res)
 	}
 	return out
@@ -147,7 +147,7 @@ func IsendPostTime(cfg sim.Config, sizes []int, iters int) []PostTimeResult {
 	for _, size := range sizes {
 		size := size
 		var post float64
-		sim.Run(cfg, func(env *Env) {
+		run(cfg, func(env *Env) {
 			c := env.World
 			peer := 1 - env.Rank()
 			sbuf := make([]byte, size)
@@ -189,7 +189,7 @@ func OSULatency(cfg sim.Config, sizes []int, iters int) []LatencyResult {
 	for _, size := range sizes {
 		size := size
 		var lat float64
-		sim.Run(cfg, func(env *Env) {
+		run(cfg, func(env *Env) {
 			c := env.World
 			buf := make([]byte, size)
 			start := env.Now()
@@ -231,7 +231,7 @@ func OSUBandwidth(cfg sim.Config, sizes []int, window, windows int) []BandwidthR
 	for _, size := range sizes {
 		size := size
 		var bw float64
-		sim.Run(cfg, func(env *Env) {
+		run(cfg, func(env *Env) {
 			c := env.World
 			bufs := make([][]byte, window)
 			for i := range bufs {
@@ -286,7 +286,7 @@ func OSUMultithreadedLatency(cfg sim.Config, threads int, sizes []int, iters int
 	for _, size := range sizes {
 		size := size
 		var lat float64
-		sim.Run(cfg, func(env *Env) {
+		run(cfg, func(env *Env) {
 			sum := make([]float64, threads)
 			env.ParallelN(threads, func(th *sim.Thread) {
 				c := th.Comm

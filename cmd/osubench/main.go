@@ -7,6 +7,11 @@
 //
 // Select the platform with -profile=endeavor|phi|edison (Figs 7 vs 8) and
 // the approaches with -approaches.
+//
+// Fault injection: -drop/-dup perturb the interconnect with a deterministic
+// seeded plan (-fault-seed) while the protocol layer's reliable-delivery
+// sublayer recovers; -watchdog-us bounds every request. With any of these
+// set, a fault/recovery counter table is printed after the results.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"strings"
 
 	"mpioffload/bench"
+	"mpioffload/internal/fault"
 	"mpioffload/internal/model"
 	"mpioffload/sim"
 )
@@ -29,6 +35,10 @@ func main() {
 	size := flag.Int("size", 8, "payload size for icoll (Fig 5a: 8, Fig 5b: 8192)")
 	iters := flag.Int("iters", 20, "measured iterations")
 	csv := flag.Bool("csv", false, "emit CSV instead of a text table")
+	drop := flag.Float64("drop", 0, "packet drop probability (0-1) for fault injection")
+	dup := flag.Float64("dup", 0, "packet duplication probability (0-1) for fault injection")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault-injection PRNG")
+	watchdogUs := flag.Float64("watchdog-us", 0, "per-request watchdog deadline in µs (0 = off)")
 	flag.Parse()
 
 	apps, err := parseApproaches(*approaches)
@@ -40,13 +50,24 @@ func main() {
 		log.Fatal(err)
 	}
 
+	var plan *fault.Plan
+	if *drop > 0 || *dup > 0 {
+		plan = &fault.Plan{Seed: *faultSeed, DropRate: *drop, DupRate: *dup}
+	}
+	baseCfg := func(a sim.Approach) sim.Config {
+		return sim.Config{
+			Approach: a, Profile: clone(prof),
+			Fault: plan, Watchdog: *watchdogUs * 1000,
+		}
+	}
+
 	switch *test {
 	case "isend":
 		t := bench.NewTable(fmt.Sprintf("Fig 4: MPI_Isend post time (µs), %s", prof.Name),
 			append([]string{"size"}, names(apps)...)...)
 		cols := make([][]bench.PostTimeResult, len(apps))
 		for i, a := range apps {
-			cols[i] = bench.IsendPostTime(sim.Config{Approach: a, Profile: clone(prof)}, bench.DefaultSizes, *iters)
+			cols[i] = bench.IsendPostTime(baseCfg(a), bench.DefaultSizes, *iters)
 		}
 		for r, sz := range bench.DefaultSizes {
 			row := []any{bench.SizeLabel(sz)}
@@ -62,7 +83,7 @@ func main() {
 			append([]string{"size"}, names(apps)...)...)
 		cols := make([][]bench.LatencyResult, len(apps))
 		for i, a := range apps {
-			cols[i] = bench.OSULatency(sim.Config{Approach: a, Profile: clone(prof)}, bench.DefaultSizes, *iters)
+			cols[i] = bench.OSULatency(baseCfg(a), bench.DefaultSizes, *iters)
 		}
 		for r, sz := range bench.DefaultSizes {
 			row := []any{bench.SizeLabel(sz)}
@@ -78,7 +99,7 @@ func main() {
 			append([]string{"size"}, names(apps)...)...)
 		cols := make([][]bench.BandwidthResult, len(apps))
 		for i, a := range apps {
-			cols[i] = bench.OSUBandwidth(sim.Config{Approach: a, Profile: clone(prof)}, bench.DefaultSizes, 64, 4)
+			cols[i] = bench.OSUBandwidth(baseCfg(a), bench.DefaultSizes, 64, 4)
 		}
 		for r, sz := range bench.DefaultSizes {
 			row := []any{bench.SizeLabel(sz)}
@@ -94,7 +115,7 @@ func main() {
 			append([]string{"collective"}, names(apps)...)...)
 		cols := make([][]bench.CollPostResult, len(apps))
 		for i, a := range apps {
-			cols[i] = bench.CollPostTime(sim.Config{Approach: a, Profile: clone(prof)}, *ranks, bench.CollKinds, *size, *iters)
+			cols[i] = bench.CollPostTime(baseCfg(a), *ranks, bench.CollKinds, *size, *iters)
 		}
 		for r, kind := range bench.CollKinds {
 			row := []any{kind}
@@ -107,6 +128,10 @@ func main() {
 
 	default:
 		log.Fatalf("unknown -test=%s", *test)
+	}
+
+	if plan != nil || *watchdogUs > 0 {
+		emit(bench.ResilienceTable(bench.TakeResilience()), *csv)
 	}
 }
 

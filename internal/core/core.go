@@ -68,6 +68,7 @@ type Offloader struct {
 	Submitted  int64
 	Issued     int64
 	Completed  int64
+	Failed     int64 // completions carrying a watchdog error
 	IdleWaits  int64
 	QueueFullN int64
 }
@@ -98,6 +99,7 @@ func (o *Offloader) run(t *vclock.Task) {
 			req := cmd.Issue(t)
 			o.Issued++
 			if req == nil || req.Done() {
+				o.noteFailed(req)
 				o.complete(cmd.Slot)
 			} else {
 				o.inflight = append(o.inflight, inflightEntry{cmd.Slot, req})
@@ -116,6 +118,7 @@ func (o *Offloader) run(t *vclock.Task) {
 			completed := false
 			for _, e := range o.inflight {
 				if e.req.Done() {
+					o.noteFailed(e.req)
 					o.complete(e.slot)
 					completed = true
 				} else {
@@ -139,6 +142,15 @@ func (o *Offloader) run(t *vclock.Task) {
 			// Something changed while we worked; re-poll after one gap.
 			t.SleepF(o.P.PollGap)
 		}
+	}
+}
+
+// noteFailed counts completions the watchdog forced with an error — the
+// offload thread itself never hangs on them; it just reports them done and
+// lets the application observe Status.Err.
+func (o *Offloader) noteFailed(req proto.Req) {
+	if op, ok := req.(*proto.Op); ok && op.Err != nil {
+		o.Failed++
 	}
 }
 

@@ -56,13 +56,13 @@ func TestOffloadedSendRecv(t *testing.T) {
 			return r.engs[0].Isend(ot, msg, 1, 5, 0)
 		})
 		postCost = tk.Now() - start
-		r.offs[0].Wait(tk, h)
+		waitWithDeadline(tk, r.offs[0], 10_000_000, h)
 	})
 	r.k.Go("app1", func(tk *vclock.Task) {
 		h := r.offs[1].Submit(tk, func(ot *vclock.Task) proto.Req {
 			return r.engs[1].Irecv(ot, got, 0, 5, 0)
 		})
-		r.offs[1].Wait(tk, h)
+		waitWithDeadline(tk, r.offs[1], 10_000_000, h)
 	})
 	r.k.Run()
 	if !bytes.Equal(got, msg) {

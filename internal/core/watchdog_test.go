@@ -1,0 +1,69 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"mpioffload/internal/proto"
+	"mpioffload/internal/vclock"
+)
+
+// waitWithDeadline is Offloader.Wait bounded in virtual time: past deadline
+// it panics, which the kernel surfaces as a test failure instead of a wedged
+// scheduler. (It must panic, not t.Fatalf: Fatalf's runtime.Goexit would
+// skip the kernel handoff and deadlock the whole simulation.) The final Wait
+// charges the same done-flag cost as a direct Wait, so timings are
+// unchanged.
+func waitWithDeadline(tk *vclock.Task, o *Offloader, deadline vclock.Time, h Handle) {
+	for !o.Done(h) {
+		if tk.Now() > deadline {
+			panic(fmt.Sprintf("waitWithDeadline: handle %d incomplete at %d ns (deadline %d)",
+				h, tk.Now(), deadline))
+		}
+		seq := o.Eng.Seq()
+		if o.Done(h) {
+			break
+		}
+		o.Eng.AwaitChange(tk, seq)
+	}
+	o.Wait(tk, h)
+}
+
+// TestWatchdogWakesOffloadWait: an offloaded receive with no sender must
+// not hang the application's done-flag wait — the engine watchdog fails the
+// op, the completion bump wakes the offload thread, and the thread marks the
+// slot done with the error attached. Without the watchdog this scenario
+// deadlocks the kernel.
+func TestWatchdogWakesOffloadWait(t *testing.T) {
+	r := newRig(2)
+	for _, e := range r.engs {
+		e.Deadline = 100_000
+	}
+	var opErr error
+	var doneAt vclock.Time
+	r.k.Go("app1", func(tk *vclock.Task) {
+		ref := new(*proto.Op)
+		h := r.offs[1].Submit(tk, func(ot *vclock.Task) proto.Req {
+			op := r.engs[1].Irecv(ot, make([]byte, 64), 0, 7, 0)
+			*ref = op
+			return op
+		})
+		waitWithDeadline(tk, r.offs[1], 10_000_000, h)
+		opErr = (*ref).Err
+		doneAt = tk.Now()
+	})
+	r.k.Run()
+	if !errors.Is(opErr, proto.ErrTimeout) {
+		t.Fatalf("op.Err = %v, want ErrTimeout", opErr)
+	}
+	if doneAt < 100_000 || doneAt > 300_000 {
+		t.Fatalf("wait returned at %d ns, want shortly after the 100 µs deadline", doneAt)
+	}
+	if r.offs[1].Failed != 1 {
+		t.Fatalf("offloader Failed = %d, want 1", r.offs[1].Failed)
+	}
+	if r.engs[1].Stats().WatchdogTrips != 1 {
+		t.Fatalf("engine stats %+v, want 1 watchdog trip", r.engs[1].Stats())
+	}
+}

@@ -22,12 +22,19 @@
 //
 // Payloads carry real bytes: the simulation moves actual data between rank
 // address spaces so that applications compute real answers.
+//
+// A fault.Plan installed with SetFault perturbs the wire deterministically:
+// eligible packets (see Faultable) can be dropped or duplicated, NIC stall
+// windows delay traffic, blackouts and rank crashes silence it. The
+// protocol layer's reliable-delivery sublayer recovers from loss; the
+// watchdog layer diagnoses what cannot be recovered.
 package fabric
 
 import (
 	"fmt"
 	"math/rand"
 
+	"mpioffload/internal/fault"
 	"mpioffload/internal/model"
 	"mpioffload/internal/vclock"
 )
@@ -39,6 +46,13 @@ type Packet struct {
 	Bytes    int // size on the wire
 	Payload  any
 }
+
+// Faultable marks payloads eligible for injected drop and duplication
+// (the software-recoverable classes: the protocol layer's sequenced
+// eager/control packets and their acks). Payloads without the marker model
+// hardware-reliable RDMA traffic: they can be stalled or silenced by a
+// crash, but never silently lost on a healthy link.
+type Faultable interface{ Faultable() }
 
 // Stats accumulates per-fabric traffic counters.
 type Stats struct {
@@ -60,6 +74,7 @@ type Fabric struct {
 	stats   Stats
 	wins    map[[2]int]any
 	jitter  *rand.Rand
+	inj     *fault.Injector
 }
 
 // New builds a fabric for n ranks using profile p. Ranks are assigned to
@@ -79,9 +94,33 @@ func New(k *vclock.Kernel, p *model.Profile, n int) *Fabric {
 		f.nodeOf[r] = r / p.RanksPerNode
 	}
 	if p.LinkJitter > 0 {
-		f.jitter = rand.New(rand.NewSource(0x5eed))
+		seed := p.JitterSeed
+		if seed == 0 {
+			seed = 0x5eed // historical default: keeps old timelines intact
+		}
+		f.jitter = rand.New(rand.NewSource(seed))
 	}
 	return f
+}
+
+// SetFault instates a fault-injection plan. Call before any traffic flows
+// (the protocol engines read the injector at construction to decide whether
+// to run reliable delivery). A nil plan is a no-op.
+func (f *Fabric) SetFault(p *fault.Plan) {
+	f.inj = fault.NewInjector(p)
+}
+
+// Fault returns the active fault injector (nil when no plan is set).
+func (f *Fabric) Fault() *fault.Injector { return f.inj }
+
+// FaultStats returns the injected-fault counters.
+func (f *Fabric) FaultStats() fault.Stats { return f.inj.Stats() }
+
+// RankFailed reports whether the rank has crashed by the current virtual
+// time — the simulation's perfect failure detector, used by the watchdog
+// layer to distinguish ErrRankFailed from a plain timeout.
+func (f *Fabric) RankFailed(rank int) bool {
+	return f.inj.Crashed(rank, float64(f.k.Now()))
 }
 
 // Size reports the number of ranks.
@@ -118,30 +157,85 @@ func (f *Fabric) Send(src, dst, bytes int, bwDiv float64, payload any) {
 		bwDiv = 1
 	}
 	now := float64(f.k.Now())
+	if f.inj != nil && (f.inj.Crashed(src, now) || f.inj.Crashed(dst, now)) {
+		// A dead rank sends nothing and absorbs nothing, on any transport.
+		f.inj.NoteCrashDrop()
+		return
+	}
 	pkt := &Packet{Src: src, Dst: dst, Bytes: bytes, Payload: payload}
 	f.stats.Msgs++
 	f.stats.Bytes += int64(bytes)
 
-	var rxEnd float64
 	if f.nodeOf[src] == f.nodeOf[dst] {
-		// Intra-node: shared-memory transport, no NIC involvement. The
-		// destination's shm channel serializes so that per-pair delivery
-		// order matches send order (MPI non-overtaking relies on it).
-		rxEnd = max(now+f.prof.ShmLatency, f.shmBusy[dst]) + float64(bytes)/f.prof.ShmBW
+		// Intra-node: shared-memory transport, no NIC involvement (and no
+		// wire faults — memory does not drop packets). The destination's
+		// shm channel serializes so that per-pair delivery order matches
+		// send order (MPI non-overtaking relies on it).
+		rxEnd := max(now+f.prof.ShmLatency, f.shmBusy[dst]) + float64(bytes)/f.prof.ShmBW
 		f.shmBusy[dst] = rxEnd
-	} else {
-		bw := f.prof.LinkBW / bwDiv
-		lat := f.prof.LinkLatency
-		if f.jitter != nil {
-			lat *= 1 + f.prof.LinkJitter*(2*f.jitter.Float64()-1)
-		}
-		txStart := max(now, f.txBusy[src])
-		txEnd := txStart + float64(bytes)/bw
-		f.txBusy[src] = txEnd
-		rxEnd = max(txEnd+lat, f.rxBusy[dst]+float64(bytes)/bw)
-		f.rxBusy[dst] = rxEnd
+		f.deliverAt(dst, rxEnd, now, pkt)
+		return
 	}
-	f.k.AfterF(rxEnd-now, func() { f.sink[dst](pkt) })
+
+	// Inter-node: decide the packet's fate before it touches the wire.
+	drop, dup := false, false
+	if _, ok := payload.(Faultable); ok && f.inj.Lossy() {
+		drop, dup = f.inj.DrawPacket()
+	}
+	txStart := max(now, f.txBusy[src])
+	if f.inj != nil {
+		until, stalled, blackout := f.inj.StallUntil(src, txStart)
+		if blackout {
+			f.inj.NoteBlackout()
+			return
+		}
+		if stalled {
+			f.inj.NoteStalled()
+			txStart = until
+		}
+	}
+	bw := f.prof.LinkBW / bwDiv
+	lat := f.prof.LinkLatency
+	if f.jitter != nil {
+		lat *= 1 + f.prof.LinkJitter*(2*f.jitter.Float64()-1)
+	}
+	txEnd := txStart + float64(bytes)/bw
+	f.txBusy[src] = txEnd
+	if drop {
+		return // lost on the wire: the injection port was still occupied
+	}
+	deliver := func() {
+		rxEnd := max(txEnd+lat, f.rxBusy[dst]+float64(bytes)/bw)
+		if f.inj != nil {
+			until, stalled, blackout := f.inj.StallUntil(dst, rxEnd)
+			if blackout {
+				f.inj.NoteBlackout()
+				return
+			}
+			if stalled {
+				f.inj.NoteStalled()
+				rxEnd = until
+			}
+		}
+		f.rxBusy[dst] = rxEnd
+		f.deliverAt(dst, rxEnd, now, pkt)
+	}
+	deliver()
+	if dup {
+		deliver() // second copy re-serializes through the ejection port
+	}
+}
+
+// deliverAt schedules the packet's arrival, re-checking at delivery time
+// that the destination is still alive (a rank can crash mid-flight).
+func (f *Fabric) deliverAt(dst int, rxEnd, now float64, pkt *Packet) {
+	f.k.AfterF(rxEnd-now, func() {
+		if f.inj != nil && f.inj.Crashed(dst, float64(f.k.Now())) {
+			f.inj.NoteCrashDrop()
+			return
+		}
+		f.sink[dst](pkt)
+	})
 }
 
 // RegisterWin records an RMA window buffer exposed by a rank; LookupWin

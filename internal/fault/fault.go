@@ -1,0 +1,192 @@
+// Package fault defines deterministic fault-injection plans for the
+// simulated cluster: seeded packet drop and duplication, NIC stall and
+// blackout windows, and whole-rank crashes at fixed virtual times.
+//
+// A Plan is pure configuration; an Injector is its per-run instantiation,
+// owned by the fabric. All randomness comes from a single PRNG seeded from
+// the plan, and the simulation kernel is sequentially deterministic, so the
+// same plan against the same workload produces the *identical* fault
+// timeline — every drop, duplicate and retransmission replays exactly.
+// That is what makes resilience regressions bisectable.
+//
+// The fault model mirrors where real systems fail:
+//
+//   - Drop/duplicate apply only to inter-node packets the protocol layer
+//     marks as software-recoverable (eager data and rendezvous control —
+//     see fabric.Faultable); RDMA bulk transfers model a hardware-reliable
+//     channel and are never silently lost.
+//   - A Stall window delays every packet through a rank's NIC until the
+//     window closes; a window with End <= Start is a permanent blackout
+//     (packets are dropped forever — a dead link, not a dead host).
+//   - A Crash silences a rank entirely from time At: nothing it sends is
+//     delivered and nothing sent to it arrives, on any transport. The rank's
+//     software keeps executing (it cannot know it is dead), which is exactly
+//     the survivor's-eye view the watchdog layer must diagnose.
+package fault
+
+import "math/rand"
+
+// Stall is a NIC outage window for one rank: packets entering or leaving
+// the rank's NIC between Start and End (virtual ns) are delayed until End.
+// End <= Start means a permanent blackout starting at Start: such packets
+// are dropped instead. Rank -1 applies the window to every rank.
+type Stall struct {
+	Rank       int
+	Start, End float64
+}
+
+// Blackout reports whether the window is a permanent outage.
+func (s Stall) Blackout() bool { return s.End <= s.Start }
+
+// Crash kills a rank at virtual time At: from then on the fabric delivers
+// nothing to it and nothing from it.
+type Crash struct {
+	Rank int
+	At   float64
+}
+
+// Plan is a deterministic fault schedule for one simulation run.
+// The zero value injects nothing.
+type Plan struct {
+	// Seed seeds the drop/duplication PRNG. Same seed, same plan, same
+	// workload => identical timeline.
+	Seed int64
+	// DropRate is the probability an eligible packet is lost on the wire.
+	DropRate float64
+	// DupRate is the probability an eligible packet is delivered twice.
+	DupRate float64
+	// RTO overrides the protocol layer's base retransmission timeout (ns);
+	// 0 derives it from the platform profile.
+	RTO float64
+	// MaxRetries caps per-packet retransmissions (0 = default 20); a packet
+	// still unacknowledged afterwards is abandoned and left to the watchdog.
+	MaxRetries int
+	// Stalls are NIC outage windows.
+	Stalls []Stall
+	// Crashes are whole-rank failures.
+	Crashes []Crash
+}
+
+// Lossy reports whether the plan can lose or duplicate packets, i.e.
+// whether the protocol layer must run its reliable-delivery sublayer.
+func (p *Plan) Lossy() bool {
+	return p != nil && (p.DropRate > 0 || p.DupRate > 0)
+}
+
+// Stats counts injected faults.
+type Stats struct {
+	Dropped      int64 // packets lost to DropRate
+	Duplicated   int64 // packets delivered twice
+	Stalled      int64 // packets delayed by a stall window
+	BlackoutDrop int64 // packets lost to a permanent blackout
+	CrashDrop    int64 // packets silenced by a rank crash
+}
+
+// Injector is a Plan bound to one simulation run: it owns the seeded PRNG
+// and the fault counters. It must only be used from the owning kernel's
+// scheduler (like everything in the simulation).
+type Injector struct {
+	plan  *Plan
+	rng   *rand.Rand
+	stats Stats
+}
+
+// NewInjector instantiates a plan. A nil plan yields a nil injector, which
+// every query method treats as "no faults".
+func NewInjector(p *Plan) *Injector {
+	if p == nil {
+		return nil
+	}
+	return &Injector{plan: p, rng: rand.New(rand.NewSource(p.Seed))}
+}
+
+// Plan returns the underlying plan.
+func (in *Injector) Plan() *Plan { return in.plan }
+
+// Stats returns the fault counters accumulated so far.
+func (in *Injector) Stats() Stats {
+	if in == nil {
+		return Stats{}
+	}
+	return in.stats
+}
+
+// Lossy reports whether drop or duplication is configured.
+func (in *Injector) Lossy() bool { return in != nil && in.plan.Lossy() }
+
+// DrawPacket decides the fate of one eligible packet: lost, duplicated, or
+// neither. Both draws always happen so the PRNG stream depends only on the
+// packet sequence, not on which rates are zero.
+func (in *Injector) DrawPacket() (drop, dup bool) {
+	drop = in.rng.Float64() < in.plan.DropRate
+	dup = in.rng.Float64() < in.plan.DupRate
+	if drop {
+		in.stats.Dropped++
+		return true, false
+	}
+	if dup {
+		in.stats.Duplicated++
+	}
+	return false, dup
+}
+
+// Crashed reports whether the rank is dead at virtual time at.
+func (in *Injector) Crashed(rank int, at float64) bool {
+	if in == nil {
+		return false
+	}
+	for _, c := range in.plan.Crashes {
+		if c.Rank == rank && at >= c.At {
+			return true
+		}
+	}
+	return false
+}
+
+// CrashTime returns the rank's crash time, if it has one.
+func (in *Injector) CrashTime(rank int) (float64, bool) {
+	if in == nil {
+		return 0, false
+	}
+	for _, c := range in.plan.Crashes {
+		if c.Rank == rank {
+			return c.At, true
+		}
+	}
+	return 0, false
+}
+
+// StallUntil resolves the stall windows covering the rank's NIC at virtual
+// time at: it returns the time the NIC comes back (delay the packet until
+// then), or blackout=true if a permanent window has begun (drop it).
+func (in *Injector) StallUntil(rank int, at float64) (until float64, stalled, blackout bool) {
+	if in == nil {
+		return 0, false, false
+	}
+	until = at
+	for _, s := range in.plan.Stalls {
+		if s.Rank != rank && s.Rank != -1 {
+			continue
+		}
+		if at < s.Start {
+			continue
+		}
+		if s.Blackout() {
+			return 0, false, true
+		}
+		if at < s.End && s.End > until {
+			until = s.End
+		}
+	}
+	return until, until > at, false
+}
+
+// NoteStalled / NoteBlackout / NoteCrashDrop record faults decided by the
+// fabric (the injector cannot see packet routing itself).
+func (in *Injector) NoteStalled() { in.stats.Stalled++ }
+
+// NoteBlackout records a packet lost to a permanent blackout window.
+func (in *Injector) NoteBlackout() { in.stats.BlackoutDrop++ }
+
+// NoteCrashDrop records a packet silenced by a rank crash.
+func (in *Injector) NoteCrashDrop() { in.stats.CrashDrop++ }

@@ -103,10 +103,15 @@ type Profile struct {
 	// LinkLatency is the one-way wire+switch latency for any packet.
 	LinkLatency float64
 	// LinkJitter is the fractional uniform noise applied to each packet's
-	// wire latency (0 = none). Jitter is drawn from a fixed-seed PRNG so
+	// wire latency (0 = none). Jitter is drawn from a seeded PRNG so
 	// simulations stay deterministic; per-pair FIFO delivery order is
 	// preserved regardless (the NIC busy-clocks enforce it).
 	LinkJitter float64
+	// JitterSeed seeds the jitter PRNG. 0 selects the historical default
+	// seed (0x5eed), keeping pre-existing timelines bit-identical; any
+	// other value yields an independent, equally deterministic noise
+	// sequence.
+	JitterSeed int64
 	// LinkBW is the per-NIC injection/ejection bandwidth.
 	LinkBW float64
 	// ShmLatency and ShmBW are the intra-node (same physical node)

@@ -63,9 +63,14 @@ type Op struct {
 	Bytes    int // wire size; len(Buf) for ordinary ops, larger for phantom
 	complete bool
 	Stat     Status
-	seq      uint64 // posting order (receive matching)
-	matched  bool   // receive already matched (tombstone in the queues)
-	onDone   func() // completion callback (collective schedules)
+	// Err is non-nil when the watchdog failed the request (ErrTimeout /
+	// ErrRankFailed wrapped with context) instead of letting it hang.
+	Err     error
+	seq     uint64  // posting order (receive matching)
+	matched bool    // receive already matched (tombstone in the queues)
+	queued  bool    // receive entered the posted queues
+	onDone  func()  // completion callback (collective schedules)
+	expires float64 // watchdog deadline (virtual ns); 0 = unwatched
 }
 
 // OnDone registers a completion callback, invoking it immediately if the
@@ -112,6 +117,7 @@ type Stats struct {
 	UnexpectedHit int // receives satisfied from the unexpected queue
 	PostedHit     int // arrivals matched against posted receives
 	ProgressCalls int
+	WatchdogTrips int // requests failed by the watchdog
 }
 
 // wire payload types
@@ -203,6 +209,22 @@ type Engine struct {
 	progressors []Progressor
 	stepping    bool
 	stats       Stats
+
+	// Reliable-delivery sublayer (active only under a lossy fault plan;
+	// see rel.go). relTx/relRx are keyed by peer global rank.
+	rel        bool
+	rto        float64 // plan RTO override (0 = derive per packet)
+	maxRetries int
+	relTx      map[int]*relTxState
+	relRx      map[int]*relRxState
+	relStats   RelStats
+
+	// Watchdog: requests in flight longer than Deadline ns are failed with
+	// ErrTimeout/ErrRankFailed instead of hanging (0 disables). Set before
+	// traffic flows.
+	Deadline float64
+	watch    []*Op
+	wdArmed  bool
 }
 
 // NewEngine creates the engine for one rank and binds it to the fabric.
@@ -217,6 +239,16 @@ func NewEngine(k *vclock.Kernel, f *fabric.Fabric, p *model.Profile, rank int) *
 		postedX:  make(map[matchKey][]*Op),
 		uxX:      make(map[matchKey][]*uxEntry),
 	}
+	if inj := f.Fault(); inj.Lossy() {
+		e.rel = true
+		e.rto = inj.Plan().RTO
+		e.maxRetries = inj.Plan().MaxRetries
+		if e.maxRetries <= 0 {
+			e.maxRetries = defaultMaxRetries
+		}
+		e.relTx = make(map[int]*relTxState)
+		e.relRx = make(map[int]*relRxState)
+	}
 	f.Bind(rank, e.deliver)
 	return e
 }
@@ -230,8 +262,18 @@ func (e *Engine) Stats() Stats { return e.stats }
 // receiver software involvement; the receiver still needs a progress call
 // to notice its own completion.
 func (e *Engine) deliver(pkt *fabric.Packet) {
+	switch m := pkt.Payload.(type) {
+	case *relMsg:
+		e.relDeliver(pkt.Src, m) // sequenced packet: ack/dedup/reorder
+		return
+	case *ackMsg:
+		e.relAck(m.from, m.seq)
+		return
+	}
 	if d, ok := pkt.Payload.(rdvData); ok {
-		copy(d.recvOp.Buf, d.sendOp.Buf)
+		if d.recvOp.Err == nil {
+			copy(d.recvOp.Buf, d.sendOp.Buf)
+		}
 		d.sendOp.Eng.completeOp(d.sendOp, Status{})
 	}
 	if needsSW, handled := e.deliverRMA(pkt.Payload); handled && !needsSW {
@@ -327,13 +369,14 @@ func (e *Engine) IsendNCost(buf []byte, n, dst, tag, comm int, bwDiv float64) (*
 		e.stats.EagerSends++
 		data := make([]byte, len(buf))
 		copy(data, buf)
-		e.F.Send(e.Rank, dst, n, bwDiv, &eagerMsg{op: op, tag: tag, comm: comm, bytes: n, data: data})
+		e.sendRel(dst, n, bwDiv, &eagerMsg{op: op, tag: tag, comm: comm, bytes: n, data: data})
 		e.completeOp(op, Status{})
 		return op, e.P.CallOverhead + e.P.CopyTime(n)
 	}
 	// Rendezvous: emit RTS only; data moves after the CTS round trip.
 	e.stats.RdvSends++
-	e.F.Send(e.Rank, dst, ctlBytes, 1, &rtsMsg{op: op, tag: tag, comm: comm, bytes: n, bwDiv: bwDiv})
+	e.sendRel(dst, ctlBytes, 1, &rtsMsg{op: op, tag: tag, comm: comm, bytes: n, bwDiv: bwDiv})
+	e.watchOp(op)
 	return op, e.P.CallOverhead + e.P.RTSCost
 }
 
@@ -371,10 +414,12 @@ func (e *Engine) IrecvNCost(buf []byte, n, src, tag, comm int) (*Op, float64) {
 			return op, cost + e.P.CopyTime(ux.bytes)
 		}
 		// RTS waiting: answer CTS; data will arrive asynchronously.
-		e.F.Send(e.Rank, ux.src, ctlBytes, 1, &ctsMsg{sendOp: ux.sendOp, recvOp: op, bwDiv: ux.bwDiv})
+		e.sendRel(ux.src, ctlBytes, 1, &ctsMsg{sendOp: ux.sendOp, recvOp: op, bwDiv: ux.bwDiv})
+		e.watchOp(op)
 		return op, cost + e.P.RTSCost
 	}
 	e.postRecv(op)
+	e.watchOp(op)
 	return op, cost
 }
 
@@ -382,6 +427,7 @@ func (e *Engine) IrecvNCost(buf []byte, n, src, tag, comm int) (*Op, float64) {
 func (e *Engine) postRecv(op *Op) {
 	e.postSeq++
 	op.seq = e.postSeq
+	op.queued = true
 	e.postedN++
 	if op.Peer == AnySource || op.Tag == AnyTag {
 		e.postedW = append(e.postedW, op)
@@ -526,7 +572,7 @@ func (e *Engine) handle(pkt *fabric.Packet) float64 {
 		op, cost := e.matchPosted(pkt.Src, m.tag, m.comm)
 		if op != nil {
 			cost += e.P.RTSCost
-			e.F.Send(e.Rank, pkt.Src, ctlBytes, 1, &ctsMsg{sendOp: m.op, recvOp: op, bwDiv: m.bwDiv})
+			e.sendRel(pkt.Src, ctlBytes, 1, &ctsMsg{sendOp: m.op, recvOp: op, bwDiv: m.bwDiv})
 			return cost
 		}
 		e.addUnexpected(&uxEntry{
@@ -535,7 +581,11 @@ func (e *Engine) handle(pkt *fabric.Packet) float64 {
 		return cost
 	case *ctsMsg:
 		// We are the sender: the receiver's buffer is ready, start the
-		// RDMA transfer. The NIC completes both sides (see deliver).
+		// RDMA transfer. The NIC completes both sides (see deliver). A
+		// send the watchdog already failed is not restarted.
+		if m.sendOp.complete && m.sendOp.Err != nil {
+			return e.P.MatchCost
+		}
 		e.F.Send(e.Rank, m.recvOp.Eng.Rank, m.sendOp.Bytes, m.bwDiv, rdvData{sendOp: m.sendOp, recvOp: m.recvOp})
 		return e.P.RTSCost
 	case rdvData:

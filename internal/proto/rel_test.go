@@ -1,0 +1,299 @@
+package proto
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"mpioffload/internal/fabric"
+	"mpioffload/internal/fault"
+	"mpioffload/internal/model"
+	"mpioffload/internal/vclock"
+)
+
+// newFaultRig is newRig with a fault plan installed before the engines are
+// built (they read the injector at construction to enable reliable delivery).
+func newFaultRig(n int, p *model.Profile, plan *fault.Plan) *rig {
+	p.RanksPerNode = 1
+	k := vclock.NewKernel()
+	f := fabric.New(k, p, n)
+	f.SetFault(plan)
+	r := &rig{k: k, f: f, p: p}
+	for i := 0; i < n; i++ {
+		r.engs = append(r.engs, NewEngine(k, f, p, i))
+	}
+	return r
+}
+
+// waitWithDeadline drives the engine until every request completes, bounding
+// the wait in virtual time: past deadline it panics, which the kernel
+// surfaces as a test failure instead of a wedged scheduler. (It must panic,
+// not t.Fatalf: Fatalf's runtime.Goexit would skip the kernel handoff and
+// deadlock the whole simulation.)
+func waitWithDeadline(tk *vclock.Task, e *Engine, deadline vclock.Time, reqs ...Req) {
+	for _, r := range reqs {
+		for !r.Done() {
+			if tk.Now() > deadline {
+				panic(fmt.Sprintf("waitWithDeadline: rank %d still waiting at %d ns (deadline %d)",
+					e.Rank, tk.Now(), deadline))
+			}
+			seq := e.Seq()
+			e.Progress(tk)
+			if r.Done() {
+				break
+			}
+			if e.Seq() == seq {
+				e.AwaitChange(tk, seq)
+			}
+		}
+	}
+}
+
+func TestLossyEagerFIFOAndIntegrity(t *testing.T) {
+	// Heavy loss and duplication; every message must still arrive intact
+	// and in order — the reliable-delivery sublayer at work.
+	r := newFaultRig(2, model.Endeavor(), &fault.Plan{Seed: 3, DropRate: 0.15, DupRate: 0.1})
+	const msgs = 40
+	bufs := make([][]byte, msgs)
+	r.k.Go("sender", func(tk *vclock.Task) {
+		for i := 0; i < msgs; i++ {
+			b := seqBytes(512)
+			b[0] = byte(i)
+			r.engs[0].Isend(tk, b, 1, 9, 0)
+			tk.Sleep(2000)
+		}
+	})
+	r.k.Go("recver", func(tk *vclock.Task) {
+		var ops []Req
+		for i := 0; i < msgs; i++ {
+			bufs[i] = make([]byte, 512)
+			ops = append(ops, r.engs[1].Irecv(tk, bufs[i], 0, 9, 0))
+		}
+		waitWithDeadline(tk, r.engs[1], 1_000_000_000, ops...)
+	})
+	r.k.Run()
+	want := seqBytes(512)
+	for i := 0; i < msgs; i++ {
+		if bufs[i][0] != byte(i) {
+			t.Fatalf("message %d overtaken under loss: got %d", i, bufs[i][0])
+		}
+		if !bytes.Equal(bufs[i][1:], want[1:]) {
+			t.Fatalf("message %d corrupted", i)
+		}
+	}
+	rs := r.engs[0].RelStats()
+	if rs.RelSends == 0 {
+		t.Fatal("reliable sublayer never engaged")
+	}
+	if rs.Retransmits == 0 {
+		t.Fatalf("15%% drop over %d messages produced no retransmits: %+v", msgs, rs)
+	}
+	fs := r.f.FaultStats()
+	if fs.Dropped == 0 || fs.Duplicated == 0 {
+		t.Fatalf("plan injected nothing: %+v", fs)
+	}
+}
+
+func TestLossyRendezvous(t *testing.T) {
+	// RTS/CTS control messages are recoverable; the bulk transfer rides the
+	// hardware-reliable channel. The handshake must survive control loss.
+	p := model.Endeavor()
+	r := newFaultRig(2, p, &fault.Plan{Seed: 11, DropRate: 0.3, DupRate: 0.1})
+	n := p.EagerThreshold * 2
+	msg := seqBytes(n)
+	got := make([]byte, n)
+	r.k.Go("sender", func(tk *vclock.Task) {
+		op := r.engs[0].Isend(tk, msg, 1, 1, 0)
+		waitWithDeadline(tk, r.engs[0], 2_000_000_000, op)
+	})
+	r.k.Go("recver", func(tk *vclock.Task) {
+		op := r.engs[1].Irecv(tk, got, 0, 1, 0)
+		waitWithDeadline(tk, r.engs[1], 2_000_000_000, op)
+	})
+	r.k.Run()
+	if !bytes.Equal(got, msg) {
+		t.Fatal("rendezvous data corrupted under lossy control channel")
+	}
+}
+
+func TestLossyTimelineDeterministic(t *testing.T) {
+	run := func() (vclock.Time, RelStats, fault.Stats) {
+		r := newFaultRig(2, model.Endeavor(), &fault.Plan{Seed: 5, DropRate: 0.1, DupRate: 0.05})
+		r.k.Go("sender", func(tk *vclock.Task) {
+			for i := 0; i < 30; i++ {
+				r.engs[0].Isend(tk, seqBytes(256), 1, 2, 0)
+				tk.Sleep(1500)
+			}
+		})
+		r.k.Go("recver", func(tk *vclock.Task) {
+			var ops []Req
+			for i := 0; i < 30; i++ {
+				ops = append(ops, r.engs[1].Irecv(tk, make([]byte, 256), 0, 2, 0))
+			}
+			waitWithDeadline(tk, r.engs[1], 1_000_000_000, ops...)
+		})
+		end := r.k.Run()
+		return end, r.engs[0].RelStats(), r.f.FaultStats()
+	}
+	e1, r1, f1 := run()
+	e2, r2, f2 := run()
+	if e1 != e2 {
+		t.Fatalf("elapsed diverged: %d vs %d", e1, e2)
+	}
+	if r1 != r2 {
+		t.Fatalf("rel stats diverged: %+v vs %+v", r1, r2)
+	}
+	if f1 != f2 {
+		t.Fatalf("fault stats diverged: %+v vs %+v", f1, f2)
+	}
+}
+
+func TestWatchdogTimesOutOrphanReceive(t *testing.T) {
+	// A receive whose sender never posts: without the watchdog this WaitAll
+	// blocks forever and the kernel panics on deadlock. With it, the wait
+	// returns and the op carries ErrTimeout.
+	r := newRig(2, model.Endeavor())
+	for _, e := range r.engs {
+		e.Deadline = 50_000
+	}
+	var opErr error
+	var failedAt vclock.Time
+	r.k.Go("recver", func(tk *vclock.Task) {
+		op := r.engs[1].Irecv(tk, make([]byte, 64), 0, 1, 0)
+		r.engs[1].WaitAll(tk, op)
+		opErr = op.Err
+		failedAt = tk.Now()
+	})
+	r.k.Run()
+	if !errors.Is(opErr, ErrTimeout) {
+		t.Fatalf("op.Err = %v, want ErrTimeout", opErr)
+	}
+	if failedAt < 50_000 || failedAt > 100_000 {
+		t.Fatalf("failed at %d ns, want within [deadline, 2*deadline]", failedAt)
+	}
+	if r.engs[1].Stats().WatchdogTrips != 1 {
+		t.Fatalf("stats %+v, want 1 watchdog trip", r.engs[1].Stats())
+	}
+}
+
+func TestWatchdogReportsRankFailed(t *testing.T) {
+	// The peer crashes before answering a rendezvous handshake: the perfect
+	// failure detector upgrades the timeout to ErrRankFailed.
+	p := model.Endeavor()
+	r := newFaultRig(2, p, &fault.Plan{Crashes: []fault.Crash{{Rank: 1, At: 1000}}})
+	for _, e := range r.engs {
+		e.Deadline = 100_000
+	}
+	var sendErr error
+	r.k.Go("sender", func(tk *vclock.Task) {
+		tk.Sleep(2000) // send after the peer is already dead
+		op := r.engs[0].Isend(tk, seqBytes(p.EagerThreshold*2), 1, 1, 0)
+		r.engs[0].WaitAll(tk, op)
+		sendErr = op.Err
+	})
+	r.k.Run()
+	if !errors.Is(sendErr, ErrRankFailed) {
+		t.Fatalf("op.Err = %v, want ErrRankFailed", sendErr)
+	}
+}
+
+func TestWatchdogTimesOutUnderBlackout(t *testing.T) {
+	// A permanently dead link is not a dead peer: the failure detector says
+	// the rank is alive, so the watchdog reports a plain timeout.
+	p := model.Endeavor()
+	r := newFaultRig(2, p, &fault.Plan{
+		// Lossy so the control path runs reliable delivery (retransmits
+		// into the void until the watchdog cuts the request loose).
+		Seed: 1, DropRate: 0.01,
+		Stalls: []fault.Stall{{Rank: 1, Start: 0}}, // blackout from t=0
+	})
+	for _, e := range r.engs {
+		e.Deadline = 200_000
+	}
+	var sendErr error
+	r.k.Go("sender", func(tk *vclock.Task) {
+		op := r.engs[0].Isend(tk, seqBytes(p.EagerThreshold*2), 1, 1, 0)
+		r.engs[0].WaitAll(tk, op)
+		sendErr = op.Err
+	})
+	r.k.Run()
+	if !errors.Is(sendErr, ErrTimeout) {
+		t.Fatalf("op.Err = %v, want ErrTimeout", sendErr)
+	}
+	if errors.Is(sendErr, ErrRankFailed) {
+		t.Fatal("blackout misdiagnosed as rank failure")
+	}
+	if r.f.FaultStats().BlackoutDrop == 0 {
+		t.Fatal("no packets hit the blackout")
+	}
+}
+
+func TestWatchdogFailedRecvTombstonesQueueEntry(t *testing.T) {
+	// After a posted receive times out, a late-arriving message must not
+	// land in its (dead) buffer; it goes to the unexpected queue for the
+	// next matching receive.
+	r := newRig(2, model.Endeavor())
+	for _, e := range r.engs {
+		e.Deadline = 50_000
+	}
+	var firstErr error
+	got := make([]byte, 128)
+	r.k.Go("sender", func(tk *vclock.Task) {
+		// Past the first receive's 50 µs deadline, but within the re-posted
+		// receive's own watchdog window.
+		tk.Sleep(60_000)
+		r.engs[0].Isend(tk, seqBytes(128), 1, 4, 0)
+	})
+	r.k.Go("recver", func(tk *vclock.Task) {
+		dead := make([]byte, 128)
+		op := r.engs[1].Irecv(tk, dead, 0, 4, 0)
+		r.engs[1].WaitAll(tk, op)
+		firstErr = op.Err
+		// Re-post: this receive matches the late message.
+		op2 := r.engs[1].Irecv(tk, got, 0, 4, 0)
+		waitWithDeadline(tk, r.engs[1], 10_000_000, op2)
+	})
+	r.k.Run()
+	if !errors.Is(firstErr, ErrTimeout) {
+		t.Fatalf("first recv err = %v, want ErrTimeout", firstErr)
+	}
+	if !bytes.Equal(got, seqBytes(128)) {
+		t.Fatal("late message did not reach the re-posted receive")
+	}
+}
+
+func TestZeroFaultPlanChangesNothing(t *testing.T) {
+	// Installing no plan (or a watchdog generous enough never to trip) must
+	// leave the timeline bit-identical to the seed behaviour: reliable
+	// delivery stays disengaged and no extra packets flow.
+	elapsed := func(plan *fault.Plan, deadline float64) (vclock.Time, int64) {
+		var r *rig
+		if plan != nil {
+			r = newFaultRig(2, model.Endeavor(), plan)
+		} else {
+			r = newRig(2, model.Endeavor())
+		}
+		for _, e := range r.engs {
+			e.Deadline = deadline
+		}
+		r.k.Go("s", func(tk *vclock.Task) {
+			op := r.engs[0].Isend(tk, seqBytes(4096), 1, 0, 0)
+			waitWithDeadline(tk, r.engs[0], 1_000_000_000, op)
+		})
+		r.k.Go("r", func(tk *vclock.Task) {
+			op := r.engs[1].Irecv(tk, make([]byte, 4096), 0, 0, 0)
+			waitWithDeadline(tk, r.engs[1], 1_000_000_000, op)
+		})
+		return r.k.Run(), r.f.Stats().Msgs
+	}
+	baseT, baseMsgs := elapsed(nil, 0)
+	wdT, wdMsgs := elapsed(nil, 1e9) // watchdog armed but never tripping
+	crashPlanT, crashMsgs := elapsed(&fault.Plan{Crashes: []fault.Crash{{Rank: 1, At: 1e15}}}, 0)
+	if wdT != baseT || wdMsgs != baseMsgs {
+		t.Fatalf("idle watchdog perturbed the timeline: %d/%d vs %d/%d", wdT, wdMsgs, baseT, baseMsgs)
+	}
+	if crashPlanT != baseT || crashMsgs != baseMsgs {
+		t.Fatalf("non-lossy plan perturbed the timeline: %d/%d vs %d/%d", crashPlanT, crashMsgs, baseT, baseMsgs)
+	}
+}

@@ -33,11 +33,26 @@ const (
 	AnyTag    = proto.AnyTag
 )
 
+// Request failure causes surfaced by the watchdog layer (package sim's
+// Config.Watchdog). Test with errors.Is: the concrete error wraps these with
+// rank/peer/deadline context.
+var (
+	// ErrTimeout means the request was still in flight when its deadline
+	// expired (lost beyond recovery, peer never posted, or a stalled NIC).
+	ErrTimeout = proto.ErrTimeout
+	// ErrRankFailed means the peer rank crashed; the request can never
+	// complete.
+	ErrRankFailed = proto.ErrRankFailed
+)
+
 // Status reports the source, tag and byte count of a completed receive.
+// Err is non-nil when the watchdog failed the request instead of letting it
+// block forever; the buffer contents are then undefined.
 type Status struct {
 	Source int
 	Tag    int
 	Count  int
+	Err    error
 }
 
 // Request is a pending nonblocking operation. The zero value is a null
@@ -65,6 +80,7 @@ type commState struct {
 	nodes  int   // distinct nodes spanned by the group
 	colls  int   // collective sequence number (tag space)
 	dups   int   // communicator-derivation counter
+	errh   func(error) // communicator error handler (nil = errors-return)
 }
 
 // Comm is a communicator handle bound to the calling thread.
@@ -105,6 +121,21 @@ func (c *Comm) GlobalRank(r int) int { return c.st.ranks[r] }
 // thread.
 func (c *Comm) Offloaded() bool { return c.st.off != nil }
 
+// SetErrhandler installs an error handler on the communicator (shared by
+// all thread-bound handles, like MPI_Comm_set_errhandler). When a request
+// completes with a watchdog error, Wait/Test/Waitall invoke fn with it in
+// addition to reporting it through Status.Err. nil restores the default
+// errors-return behaviour.
+func (c *Comm) SetErrhandler(fn func(error)) { c.st.errh = fn }
+
+// raise reports a failed request through the communicator's error handler.
+func (c *Comm) raise(st Status) Status {
+	if st.Err != nil && c.st.errh != nil {
+		c.st.errh(st.Err)
+	}
+	return st
+}
+
 func (c *Comm) group() coll.Group {
 	return coll.Group{Ranks: c.st.ranks, Me: c.st.me, Comm: c.st.id, Nodes: c.st.nodes}
 }
@@ -124,10 +155,13 @@ func (c *Comm) Isend(buf []byte, dst, tag int) Request {
 	st := c.st
 	gdst := st.ranks[dst]
 	if st.off != nil {
+		ref := new(*proto.Op)
 		h := st.off.Submit(c.t, func(ot *vclock.Task) proto.Req {
-			return st.eng.Isend(ot, buf, gdst, tag, st.id)
+			op := st.eng.Isend(ot, buf, gdst, tag, st.id)
+			*ref = op
+			return op
 		})
-		return Request{off: st.off, h: h}
+		return Request{off: st.off, h: h, opRef: ref}
 	}
 	if st.locked {
 		st.eng.EnterLock(c.t)
@@ -188,7 +222,7 @@ func (c *Comm) Wait(r *Request) Status {
 		st.eng.WaitAll(c.t, r.direct)
 	}
 	r.waited = true
-	return r.status()
+	return c.raise(r.status())
 }
 
 func (r *Request) status() Status {
@@ -197,7 +231,7 @@ func (r *Request) status() Status {
 		op = *r.opRef
 	}
 	if op != nil {
-		return Status{Source: op.Stat.Source, Tag: op.Stat.Tag, Count: op.Stat.Count}
+		return Status{Source: op.Stat.Source, Tag: op.Stat.Tag, Count: op.Stat.Count, Err: op.Err}
 	}
 	return Status{}
 }
@@ -207,9 +241,11 @@ func (c *Comm) Waitall(rs ...*Request) {
 	st := c.st
 	if st.off == nil {
 		var reqs []proto.Req
+		var done []*Request
 		for _, r := range rs {
 			if !r.IsNull() && !r.waited {
 				reqs = append(reqs, r.direct)
+				done = append(done, r)
 				r.waited = true
 			}
 		}
@@ -220,6 +256,9 @@ func (c *Comm) Waitall(rs ...*Request) {
 			st.eng.WaitAllLocked(c.t, reqs...)
 		} else {
 			st.eng.WaitAll(c.t, reqs...)
+		}
+		for _, r := range done {
+			c.raise(r.status())
 		}
 		return
 	}
@@ -288,7 +327,7 @@ func (c *Comm) Test(r *Request) (bool, Status) {
 		return false, Status{}
 	}
 	r.waited = true
-	return true, r.status()
+	return true, c.raise(r.status())
 }
 
 // Iprobe checks for a matching incoming message without receiving it.
@@ -345,6 +384,7 @@ func (c *Comm) Dup() *Comm {
 	ns := &commState{
 		eng: st.eng, off: st.off, locked: st.locked,
 		id: id, ranks: st.ranks, me: st.me, nodes: st.nodes,
+		errh: st.errh,
 	}
 	return &Comm{st: ns, t: c.t}
 }
@@ -360,10 +400,13 @@ func (c *Comm) IsendBytes(n, dst, tag int) Request {
 	st := c.st
 	gdst := st.ranks[dst]
 	if st.off != nil {
+		ref := new(*proto.Op)
 		h := st.off.Submit(c.t, func(ot *vclock.Task) proto.Req {
-			return st.eng.IsendN(ot, nil, n, gdst, tag, st.id, 1)
+			op := st.eng.IsendN(ot, nil, n, gdst, tag, st.id, 1)
+			*ref = op
+			return op
 		})
-		return Request{off: st.off, h: h}
+		return Request{off: st.off, h: h, opRef: ref}
 	}
 	if st.locked {
 		st.eng.EnterLock(c.t)

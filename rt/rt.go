@@ -22,13 +22,20 @@
 package rt
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"mpioffload/internal/queue"
 	"mpioffload/internal/reqpool"
 )
+
+// ErrTimeout is returned by WaitErr when a request misses the cluster's
+// watchdog deadline (wall-clock here; the simulator's counterpart is
+// mpi.ErrTimeout in virtual time).
+var ErrTimeout = errors.New("rt: request deadline exceeded")
 
 // Mode selects how application threads interact with the rank's engine.
 type Mode int
@@ -83,6 +90,8 @@ type Rank struct {
 
 	// Stats counts operations for tests and diagnostics.
 	Sends, Recvs, Progress atomic.Int64
+	// WatchdogTrips counts WaitErr deadline expirations on this rank.
+	WatchdogTrips atomic.Int64
 }
 
 type cmdKind int
@@ -104,7 +113,12 @@ type cmd struct {
 type Cluster struct {
 	ranks []*Rank
 	mode  Mode
+	wdNs  atomic.Int64 // WaitErr deadline (wall-clock ns); 0 = no deadline
 }
+
+// SetWatchdog bounds every subsequent WaitErr by d of wall-clock time
+// (0 disables the bound). Safe to call concurrently with waits.
+func (c *Cluster) SetWatchdog(d time.Duration) { c.wdNs.Store(int64(d)) }
 
 // NewCluster builds n ranks in the given mode. Offload mode spawns one
 // offload goroutine per rank; call Close to stop them.
@@ -211,6 +225,37 @@ func (r *Rank) Wait(h Handle) int {
 	n := int(atomic.LoadInt32(&r.count[slot]))
 	r.pool.Put(slot)
 	return n
+}
+
+// WaitErr is Wait bounded by the cluster's watchdog deadline: when the
+// operation is still incomplete after SetWatchdog's duration it returns
+// ErrTimeout instead of spinning forever (a hung peer, a never-posted
+// receive). The timed-out request stays live and its pool slot is
+// intentionally leaked — the engine may still complete it later, and
+// recycling the slot under an in-flight operation would corrupt the pool
+// (MPI has no safe MPI_Request_free for active requests either).
+func (r *Rank) WaitErr(h Handle) (int, error) {
+	d := time.Duration(r.cluster.wdNs.Load())
+	if d <= 0 {
+		return r.Wait(h), nil
+	}
+	slot := int(h)
+	deadline := time.Now().Add(d)
+	for !r.pool.Done(slot) {
+		if r.mode == Direct {
+			r.lock()
+			r.drain()
+			r.unlock()
+		}
+		if time.Now().After(deadline) {
+			r.WatchdogTrips.Add(1)
+			return 0, fmt.Errorf("%w (rank %d slot %d after %v)", ErrTimeout, r.id, slot, d)
+		}
+		runtime.Gosched()
+	}
+	n := int(atomic.LoadInt32(&r.count[slot]))
+	r.pool.Put(slot)
+	return n, nil
 }
 
 // Test reports completion without blocking; on success the handle is

@@ -1,6 +1,7 @@
 package rt
 
 import (
+	"errors"
 	"bytes"
 	"fmt"
 	"runtime"
@@ -267,5 +268,49 @@ func BenchmarkMTLatency(b *testing.B) {
 				wg.Wait()
 			})
 		}
+	}
+}
+
+func TestWaitErrWatchdog(t *testing.T) {
+	for _, m := range modes() {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			c := NewCluster(2, m)
+			defer c.Close()
+			c.SetWatchdog(50 * time.Millisecond)
+			r := c.Rank(0)
+
+			// A receive nobody will ever satisfy must time out, not spin.
+			start := time.Now()
+			h := r.Irecv(make([]byte, 16), 1, 99)
+			n, err := r.WaitErr(h)
+			if !errors.Is(err, ErrTimeout) {
+				t.Fatalf("WaitErr = (%d, %v), want ErrTimeout", n, err)
+			}
+			if el := time.Since(start); el < 50*time.Millisecond || el > 5*time.Second {
+				t.Fatalf("timed out after %v, want ~50ms", el)
+			}
+			if got := r.WatchdogTrips.Load(); got != 1 {
+				t.Fatalf("WatchdogTrips = %d, want 1", got)
+			}
+
+			// A satisfiable receive under the same deadline completes cleanly.
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				c.Rank(1).Send([]byte("alive"), 0, 5)
+			}()
+			buf := make([]byte, 16)
+			h2 := r.Irecv(buf, 1, 5)
+			n, err = r.WaitErr(h2)
+			if err != nil || n != 5 || !bytes.Equal(buf[:n], []byte("alive")) {
+				t.Fatalf("WaitErr = (%d, %v) buf %q, want clean 5-byte receive", n, err, buf[:n])
+			}
+			wg.Wait()
+			if got := r.WatchdogTrips.Load(); got != 1 {
+				t.Fatalf("WatchdogTrips = %d after clean wait, want still 1", got)
+			}
+		})
 	}
 }

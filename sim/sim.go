@@ -25,6 +25,7 @@ import (
 
 	"mpioffload/internal/core"
 	"mpioffload/internal/fabric"
+	"mpioffload/internal/fault"
 	"mpioffload/internal/model"
 	"mpioffload/internal/proto"
 	"mpioffload/internal/vclock"
@@ -84,6 +85,14 @@ type Config struct {
 	ThreadLevel ThreadLevel
 	// Profile is the platform cost profile (default model.Endeavor()).
 	Profile *model.Profile
+	// Fault is an optional deterministic fault-injection plan applied to
+	// the interconnect (nil = a perfect network).
+	Fault *fault.Plan
+	// Watchdog, when > 0, is the per-request deadline in virtual ns: a
+	// request still in flight that long after posting completes with
+	// mpi.ErrTimeout (or mpi.ErrRankFailed when the peer crashed) instead
+	// of blocking its Wait forever. 0 disables the watchdog.
+	Watchdog float64
 }
 
 // Result summarizes a cluster run.
@@ -94,6 +103,69 @@ type Result struct {
 	RankElapsed []vclock.Time
 	// Net is the fabric traffic summary.
 	Net fabric.Stats
+	// Resilience aggregates fault-injection and recovery counters across
+	// the cluster (all zero when no fault plan or watchdog is configured).
+	Resilience Resilience
+}
+
+// Resilience aggregates the fault, reliable-delivery and watchdog counters
+// of one run (or, via Add, several).
+type Resilience struct {
+	// Injected faults (fabric side).
+	Dropped      int64 // packets lost to the plan's DropRate
+	Duplicated   int64 // packets delivered twice
+	Stalled      int64 // packets delayed by a NIC stall window
+	BlackoutDrop int64 // packets lost to a permanent blackout
+	CrashDrop    int64 // packets silenced by a rank crash
+	// Recovery (protocol side).
+	RelSends    int64 // sequenced packets first-sent
+	Retransmits int64 // timer-driven resends
+	Acks        int64 // acknowledgements sent
+	DupDropped  int64 // duplicate deliveries suppressed
+	OutOfOrder  int64 // arrivals held for reordering
+	Abandoned   int64 // packets given up after MaxRetries
+	// Diagnosis (watchdog side).
+	WatchdogTrips int64 // requests failed with ErrTimeout/ErrRankFailed
+}
+
+// Add accumulates o into r.
+func (r *Resilience) Add(o Resilience) {
+	r.Dropped += o.Dropped
+	r.Duplicated += o.Duplicated
+	r.Stalled += o.Stalled
+	r.BlackoutDrop += o.BlackoutDrop
+	r.CrashDrop += o.CrashDrop
+	r.RelSends += o.RelSends
+	r.Retransmits += o.Retransmits
+	r.Acks += o.Acks
+	r.DupDropped += o.DupDropped
+	r.OutOfOrder += o.OutOfOrder
+	r.Abandoned += o.Abandoned
+	r.WatchdogTrips += o.WatchdogTrips
+}
+
+// resilienceOf collects the cluster-wide counters: fabric fault stats once,
+// plus every engine's reliable-delivery and watchdog counters.
+func resilienceOf(fab *fabric.Fabric, engs []*proto.Engine) Resilience {
+	fs := fab.FaultStats()
+	r := Resilience{
+		Dropped:      fs.Dropped,
+		Duplicated:   fs.Duplicated,
+		Stalled:      fs.Stalled,
+		BlackoutDrop: fs.BlackoutDrop,
+		CrashDrop:    fs.CrashDrop,
+	}
+	for _, e := range engs {
+		rs := e.RelStats()
+		r.RelSends += rs.RelSends
+		r.Retransmits += rs.Retransmits
+		r.Acks += rs.Acks
+		r.DupDropped += rs.DupDropped
+		r.OutOfOrder += rs.OutOfOrder
+		r.Abandoned += rs.Abandoned
+		r.WatchdogTrips += int64(e.Stats().WatchdogTrips)
+	}
+	return r
 }
 
 // Env is one rank's execution environment (its master thread).
@@ -105,6 +177,7 @@ type Env struct {
 	t        *vclock.Task
 	eng      *proto.Engine
 	off      *core.Offloader
+	fab      *fabric.Fabric
 	prof     *model.Profile
 	approach Approach
 	rank     int
@@ -137,6 +210,13 @@ func (e *Env) Now() vclock.Time { return e.t.Now() }
 
 // Task exposes the master thread's task (for benches and advanced use).
 func (e *Env) Task() *vclock.Task { return e.t }
+
+// Resilience returns this rank's recovery/diagnosis counters combined with
+// the cluster-wide injected-fault counters — live, at the current virtual
+// time (the per-run aggregate is in Result.Resilience).
+func (e *Env) Resilience() Resilience {
+	return resilienceOf(e.fab, []*proto.Engine{e.eng})
+}
 
 // Compute models a perfectly parallel compute phase of the given flops
 // spread over all available application threads. Approaches that dedicate
@@ -254,6 +334,7 @@ func Run(cfg Config, program func(env *Env)) Result {
 
 	k := vclock.NewKernel()
 	fab := fabric.New(k, prof, n)
+	fab.SetFault(cfg.Fault)
 	res := Result{RankElapsed: make([]vclock.Time, n)}
 
 	ranks := make([]int, n)
@@ -261,10 +342,13 @@ func Run(cfg Config, program func(env *Env)) Result {
 		ranks[i] = i
 	}
 	nodes := fab.Nodes()
+	engs := make([]*proto.Engine, 0, n)
 
 	for r := 0; r < n; r++ {
 		r := r
 		eng := proto.NewEngine(k, fab, prof, r)
+		eng.Deadline = cfg.Watchdog
+		engs = append(engs, eng)
 		var off *core.Offloader
 		hw := prof.ThreadsPerRank
 		eff := float64(prof.ThreadsPerRank)
@@ -292,7 +376,7 @@ func Run(cfg Config, program func(env *Env)) Result {
 		}
 		k.Go(fmt.Sprintf("rank%d", r), func(t *vclock.Task) {
 			env := &Env{
-				k: k, t: t, eng: eng, off: off, prof: prof,
+				k: k, t: t, eng: eng, off: off, fab: fab, prof: prof,
 				approach: cfg.Approach, rank: r, size: n,
 				hwThr: hw, effThr: eff,
 			}
@@ -303,6 +387,7 @@ func Run(cfg Config, program func(env *Env)) Result {
 	}
 	res.Elapsed = k.Run()
 	res.Net = fab.Stats()
+	res.Resilience = resilienceOf(fab, engs)
 	return res
 }
 
