@@ -4,10 +4,10 @@
 #   make vet     go vet ./...
 #   make build   go build ./...
 #   make test    go test ./...
-#   make race    race detector on the packages with real goroutine
-#                concurrency (lock-free queue, request pool, rt layer);
-#                the virtual-time sim is single-threaded by construction
-#                and gains nothing from -race.
+#   make race    race detector on every internal package plus the sim and
+#                rt layers — the fuzz seeds for the lock-free queue and
+#                request pool run as unit tests here, so real-goroutine
+#                interleavings are probed under -race on every CI pass.
 
 GO ?= go
 
@@ -25,4 +25,4 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/queue/... ./internal/reqpool/... ./rt/...
+	$(GO) test -race ./internal/... ./sim ./rt/...

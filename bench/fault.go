@@ -8,11 +8,13 @@ import "mpioffload/sim"
 // themselves.
 var resil sim.Resilience
 
-// run executes one simulation, folding its resilience counters into the
-// package accumulator. All benchmark entry points go through it.
+// run executes one simulation, folding its resilience and observability
+// counters into the package accumulators. All benchmark entry points go
+// through it.
 func run(cfg sim.Config, program func(env *Env)) sim.Result {
 	res := sim.Run(cfg, program)
 	resil.Add(res.Resilience)
+	met.Add(res.Metrics)
 	return res
 }
 

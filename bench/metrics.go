@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"fmt"
+
+	"mpioffload/sim"
+)
+
+// The benchmarks also accumulate each run's per-layer observability
+// counters so drivers can print one metrics summary for a whole sweep
+// (run() in fault.go folds them in).
+var met sim.Metrics
+
+// TakeMetrics returns the metrics accumulated since the last call and
+// resets the accumulator.
+func TakeMetrics() sim.Metrics {
+	m := met
+	met = sim.Metrics{}
+	return m
+}
+
+// MetricsTable renders the per-layer offload metrics for a driver to print
+// alongside its results.
+func MetricsTable(m sim.Metrics) *Table {
+	t := NewTable("offload metrics", "counter", "value")
+	t.Add("commands submitted", m.Submitted)
+	t.Add("commands issued", m.Issued)
+	t.Add("commands completed", m.Completed)
+	t.Add("command-queue depth HWM", m.CmdQueueHWM)
+	t.Add("request-pool occupancy HWM", m.ReqPoolHWM)
+	issue, progress, idle := m.DutyCycle()
+	t.Add("duty cycle issue/progress/idle",
+		fmt.Sprintf("%.1f%% / %.1f%% / %.1f%%", 100*issue, 100*progress, 100*idle))
+	t.Add("testany polls", m.TestanyPolls)
+	t.Add("polls per completion", m.PollsPerCompletion())
+	t.Add("issues app/agent", fmt.Sprintf("%d / %d", m.IssuesApp, m.IssuesAgent))
+	t.Add("progress app/agent", fmt.Sprintf("%d / %d", m.ProgressApp, m.ProgressAgent))
+	t.Add("blocking conversions", m.Conversions)
+	t.Add("eager sends", m.EagerSends)
+	t.Add("rendezvous sends", m.RdvSends)
+	t.Add("receives", m.Recvs)
+	t.Add("progress calls", m.ProgressCalls)
+	t.Add("unexpected-queue hits", m.UnexpectedHits)
+	t.Add("posted-queue hits", m.PostedHits)
+	t.Add("retransmits", m.Retransmits)
+	t.Add("watchdog trips", m.WatchdogTrips)
+	t.Add("trace events", m.Events)
+	t.Add("trace events dropped", m.EventsDropped)
+	return t
+}

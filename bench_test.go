@@ -14,6 +14,7 @@ import (
 	"mpioffload/apps/qcd"
 	"mpioffload/bench"
 	"mpioffload/internal/model"
+	"mpioffload/internal/obs"
 	"mpioffload/sim"
 )
 
@@ -353,4 +354,24 @@ func BenchmarkAblationOffloadThreadCost(b *testing.B) {
 			b.ReportMetric(ts.Internal/1000, "internal-us")
 		})
 	}
+}
+
+// BenchmarkObsDisabledHook measures the real cost of an observability hook
+// on a disabled recorder — the overhead every MPI call pays when tracing is
+// off. The acceptance bar is single-digit nanoseconds (a nil check plus one
+// atomic load); obs's TestDisabledHookOverhead enforces the < 5 ns bound.
+func BenchmarkObsDisabledHook(b *testing.B) {
+	rec := obs.NewRecorder(0, 16)
+	rec.SetEnabled(false)
+	b.Run("disabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rec.Progressed(obs.TApp)
+		}
+	})
+	b.Run("nil", func(b *testing.B) {
+		var nilRec *obs.Recorder
+		for i := 0; i < b.N; i++ {
+			nilRec.Progressed(obs.TApp)
+		}
+	})
 }

@@ -12,6 +12,10 @@
 // seeded plan (-fault-seed) while the protocol layer's reliable-delivery
 // sublayer recovers; -watchdog-us bounds every request. With any of these
 // set, a fault/recovery counter table is printed after the results.
+//
+// Observability: -trace=FILE writes a Chrome trace_event JSON of every run
+// (open it in chrome://tracing or Perfetto) and prints a per-run digest;
+// -metrics prints the per-layer offload metrics table after the results.
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 	"mpioffload/bench"
 	"mpioffload/internal/fault"
 	"mpioffload/internal/model"
+	"mpioffload/internal/obs"
 	"mpioffload/sim"
 )
 
@@ -39,6 +44,8 @@ func main() {
 	dup := flag.Float64("dup", 0, "packet duplication probability (0-1) for fault injection")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault-injection PRNG")
 	watchdogUs := flag.Float64("watchdog-us", 0, "per-request watchdog deadline in µs (0 = off)")
+	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON of the runs to FILE")
+	metrics := flag.Bool("metrics", false, "print the per-layer offload metrics table")
 	flag.Parse()
 
 	apps, err := parseApproaches(*approaches)
@@ -54,10 +61,15 @@ func main() {
 	if *drop > 0 || *dup > 0 {
 		plan = &fault.Plan{Seed: *faultSeed, DropRate: *drop, DupRate: *dup}
 	}
+	var tr *obs.Trace
+	if *traceFile != "" {
+		tr = obs.NewTrace(obs.Options{})
+	}
 	baseCfg := func(a sim.Approach) sim.Config {
 		return sim.Config{
 			Approach: a, Profile: clone(prof),
 			Fault: plan, Watchdog: *watchdogUs * 1000,
+			Trace: tr,
 		}
 	}
 
@@ -133,6 +145,28 @@ func main() {
 	if plan != nil || *watchdogUs > 0 {
 		emit(bench.ResilienceTable(bench.TakeResilience()), *csv)
 	}
+	if *metrics {
+		emit(bench.MetricsTable(bench.TakeMetrics()), *csv)
+	}
+	if tr != nil {
+		if err := writeTrace(*traceFile, tr); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(obs.Summary(tr))
+		fmt.Printf("trace written to %s (open in chrome://tracing or Perfetto)\n", *traceFile)
+	}
+}
+
+func writeTrace(path string, tr *obs.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChrome(f, tr); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func parseApproaches(s string) ([]sim.Approach, error) {

@@ -5,6 +5,10 @@
 //	            nonblocking point-to-point, per message size and approach
 //	-kind=coll  Fig 3 — overlap % for nonblocking collectives on 16 ranks
 //	            (-size=8 for Fig 3a, -size=16384 for Fig 3b)
+//
+// Observability: -trace=FILE writes a Chrome trace_event JSON of every run
+// (open it in chrome://tracing or Perfetto) and prints a per-run digest;
+// -metrics prints the per-layer offload metrics table after the results.
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 
 	"mpioffload/bench"
 	"mpioffload/internal/model"
+	"mpioffload/internal/obs"
 	"mpioffload/sim"
 )
 
@@ -25,6 +30,8 @@ func main() {
 	size := flag.Int("size", 8, "payload size for -kind=coll (Fig 3a: 8, 3b: 16384)")
 	iters := flag.Int("iters", 10, "measured iterations")
 	csv := flag.Bool("csv", false, "emit CSV")
+	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON of the runs to FILE")
+	metrics := flag.Bool("metrics", false, "print the per-layer offload metrics table")
 	flag.Parse()
 
 	prof, err := model.ByName(*profile)
@@ -32,6 +39,10 @@ func main() {
 		log.Fatal(err)
 	}
 	apps := []sim.Approach{sim.Baseline, sim.CommSelf, sim.Offload}
+	var tr *obs.Trace
+	if *traceFile != "" {
+		tr = obs.NewTrace(obs.Options{})
+	}
 
 	switch *kind {
 	case "p2p":
@@ -40,7 +51,7 @@ func main() {
 		cols := make([][]bench.OverlapResult, len(apps))
 		for i, a := range apps {
 			p := *prof
-			cols[i] = bench.OverlapP2P(sim.Config{Approach: a, Profile: &p}, bench.DefaultSizes, *iters)
+			cols[i] = bench.OverlapP2P(sim.Config{Approach: a, Profile: &p, Trace: tr}, bench.DefaultSizes, *iters)
 		}
 		for r, sz := range bench.DefaultSizes {
 			t.Add(bench.SizeLabel(sz), "post%",
@@ -58,7 +69,7 @@ func main() {
 		cols := make([][]bench.CollOverlapResult, len(apps))
 		for i, a := range apps {
 			p := *prof
-			cols[i] = bench.OverlapColl(sim.Config{Approach: a, Profile: &p}, *ranks, bench.CollKinds, *size, *iters)
+			cols[i] = bench.OverlapColl(sim.Config{Approach: a, Profile: &p, Trace: tr}, *ranks, bench.CollKinds, *size, *iters)
 		}
 		for r, k := range bench.CollKinds {
 			t.Add(k, f1(cols[0][r].OverlapPct), f1(cols[1][r].OverlapPct), f1(cols[2][r].OverlapPct))
@@ -68,6 +79,29 @@ func main() {
 	default:
 		log.Fatalf("unknown -kind=%s", *kind)
 	}
+
+	if *metrics {
+		emit(bench.MetricsTable(bench.TakeMetrics()), *csv)
+	}
+	if tr != nil {
+		if err := writeTrace(*traceFile, tr); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(obs.Summary(tr))
+		fmt.Printf("trace written to %s (open in chrome://tracing or Perfetto)\n", *traceFile)
+	}
+}
+
+func writeTrace(path string, tr *obs.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChrome(f, tr); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func f1(v float64) string { return fmt.Sprintf("%.1f", v) }

@@ -31,6 +31,7 @@ import (
 	"fmt"
 
 	"mpioffload/internal/model"
+	"mpioffload/internal/obs"
 	"mpioffload/internal/proto"
 	"mpioffload/internal/queue"
 	"mpioffload/internal/reqpool"
@@ -47,10 +48,12 @@ type Cmd struct {
 	// Issue performs the real MPI call on the offload thread and returns
 	// the request to track, or nil if the operation completed inline.
 	Issue func(t *vclock.Task) proto.Req
+	id    int64 // submission sequence number (trace span id)
 }
 
 type inflightEntry struct {
 	slot int
+	id   int64
 	req  proto.Req
 }
 
@@ -92,18 +95,22 @@ func New(k *vclock.Kernel, eng *proto.Engine) *Offloader {
 func (o *Offloader) run(t *vclock.Task) {
 	for {
 		seq := o.Eng.Seq()
+		rec := o.Eng.Obs
 
 		// 1. Service the command queue first (application calls waiting).
 		if cmd, ok := o.cq.TryDequeue(); ok {
+			t0 := t.Now()
+			rec.CmdDequeued(t0, cmd.id, o.cq.Len())
 			t.SleepF(o.P.DequeueCost)
 			req := cmd.Issue(t)
 			o.Issued++
 			if req == nil || req.Done() {
 				o.noteFailed(req)
-				o.complete(cmd.Slot)
+				o.complete(cmd.Slot, cmd.id)
 			} else {
-				o.inflight = append(o.inflight, inflightEntry{cmd.Slot, req})
+				o.inflight = append(o.inflight, inflightEntry{cmd.Slot, cmd.id, req})
 			}
+			rec.DutyIssue(t.Now() - t0)
 			continue
 		}
 
@@ -112,6 +119,7 @@ func (o *Offloader) run(t *vclock.Task) {
 		//    even with no local request pending (unexpected messages,
 		//    one-sided accumulates needing target-side software).
 		if len(o.inflight) > 0 || o.Eng.PendingInbox() > 0 {
+			t0 := t.Now()
 			o.Eng.Progress(t)
 			t.SleepF(o.P.DoneFlagCost)
 			kept := o.inflight[:0]
@@ -119,13 +127,14 @@ func (o *Offloader) run(t *vclock.Task) {
 			for _, e := range o.inflight {
 				if e.req.Done() {
 					o.noteFailed(e.req)
-					o.complete(e.slot)
+					o.complete(e.slot, e.id)
 					completed = true
 				} else {
 					kept = append(kept, e)
 				}
 			}
 			o.inflight = kept
+			rec.DutyProgress(t.Now() - t0)
 			if completed || !o.cq.Empty() {
 				continue
 			}
@@ -137,7 +146,9 @@ func (o *Offloader) run(t *vclock.Task) {
 		//    accounting in the sim layer, not by burning virtual events.
 		if o.Eng.Seq() == seq && o.cq.Empty() {
 			o.IdleWaits++
+			t0 := t.Now()
 			o.Eng.AwaitChange(t, seq)
+			rec.DutyIdle(t.Now() - t0)
 		} else {
 			// Something changed while we worked; re-poll after one gap.
 			t.SleepF(o.P.PollGap)
@@ -154,9 +165,10 @@ func (o *Offloader) noteFailed(req proto.Req) {
 	}
 }
 
-func (o *Offloader) complete(slot int) {
+func (o *Offloader) complete(slot int, id int64) {
 	o.pool.SetDone(slot)
 	o.Completed++
+	o.Eng.Obs.CmdCompleted(o.Eng.K.Now(), id)
 	if ev := o.slotEv[slot]; ev != nil {
 		ev.Broadcast(o.Eng.K)
 		delete(o.slotEv, slot)
@@ -176,14 +188,15 @@ func (o *Offloader) Submit(t *vclock.Task, issue func(t *vclock.Task) proto.Req)
 		o.Eng.AwaitChange(t, seq)
 		slot = o.pool.Get()
 	}
-	cmd := &Cmd{Slot: slot, Issue: issue}
+	o.Submitted++
+	cmd := &Cmd{Slot: slot, Issue: issue, id: o.Submitted}
 	for !o.cq.TryEnqueue(cmd) {
 		o.QueueFullN++
 		seq := o.Eng.Seq()
 		o.Eng.AwaitChange(t, seq)
 	}
 	t.SleepF(o.P.EnqueueCost)
-	o.Submitted++
+	o.Eng.Obs.CmdEnqueued(t.Now(), obs.TaskClass(t.Name), cmd.id, o.cq.Len())
 	o.Eng.Bump() // doorbell
 	return Handle(slot)
 }
@@ -243,3 +256,12 @@ func (o *Offloader) InFlight() int { return len(o.inflight) }
 
 // QueueLen reports the command-queue depth.
 func (o *Offloader) QueueLen() int { return o.cq.Len() }
+
+// QueueHighWater reports the command queue's depth high-water mark.
+func (o *Offloader) QueueHighWater() int { return o.cq.HighWater() }
+
+// PoolInUse reports the number of request-pool slots currently allocated.
+func (o *Offloader) PoolInUse() int { return o.pool.InUse() }
+
+// PoolHighWater reports the request pool's occupancy high-water mark.
+func (o *Offloader) PoolHighWater() int { return o.pool.HighWater() }

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Chrome trace_event exporter.
+//
+// The output is the JSON Object Format of the Trace Event specification:
+// a {"traceEvents":[...]} object loadable by chrome://tracing and Perfetto.
+// Every run/rank pair becomes one process (pid = runIndex*1000 + rank) with
+// one named thread per thread class. Command lifecycles are exported as
+// async span pairs — "queued" between enqueue and dequeue, "mpi" between
+// dequeue and completion — so the enqueue→issue→complete path of each
+// offloaded message renders as two stacked slices; protocol events
+// (eager/RTS issue, CTS, rendezvous FIN, retransmit, watchdog, conversion)
+// are instants, and the command-queue depth is a counter track.
+//
+// Output is byte-deterministic: events are emitted in ring order (which is
+// chronological per rank), no Go maps are traversed, and timestamps are
+// fixed-precision. Virtual nanoseconds map to trace microseconds
+// (ts = virtual_ns / 1000, three decimal places), so a span of 1 virtual
+// µs reads as 1 µs in the viewer.
+
+// WriteChrome writes the trace as Chrome trace_event JSON.
+func WriteChrome(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	ec := &eventWriter{bw: bw}
+	for ri, run := range tr.Runs {
+		for _, rec := range run.Ranks {
+			pid := ri*1000 + rec.rank
+			ec.meta(pid, 0, "process_name", fmt.Sprintf("%s rank%d", run.Label, rec.rank))
+			for tid := uint8(0); tid < NumTID; tid++ {
+				ec.meta(pid, int(tid), "thread_name", TIDName(tid))
+			}
+			for _, ev := range rec.Events() {
+				ec.event(pid, ev)
+			}
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+type eventWriter struct {
+	bw    *bufio.Writer
+	wrote bool
+}
+
+func (e *eventWriter) emit(format string, args ...any) {
+	if e.wrote {
+		e.bw.WriteString(",\n")
+	}
+	e.wrote = true
+	fmt.Fprintf(e.bw, format, args...)
+}
+
+func (e *eventWriter) meta(pid, tid int, name, value string) {
+	e.emit(`{"name":%q,"ph":"M","pid":%d,"tid":%d,"args":{"name":%q}}`,
+		name, pid, tid, value)
+}
+
+// ts renders a virtual-ns timestamp as trace µs with fixed precision.
+func ts(ns int64) string { return fmt.Sprintf("%d.%03d", ns/1000, ns%1000) }
+
+// async emits one half of an async span. The id carries pid and command id
+// so spans never collide across ranks or runs.
+func (e *eventWriter) async(pid int, tid uint8, ph, name string, id int64, t int64) {
+	e.emit(`{"name":%q,"cat":"cmd","ph":%q,"id":"p%dc%d","pid":%d,"tid":%d,"ts":%s}`,
+		name, ph, pid, id, pid, tid, ts(t))
+}
+
+func (e *eventWriter) instant(pid int, tid uint8, name string, t int64, args string) {
+	e.emit(`{"name":%q,"ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s%s}`,
+		name, pid, tid, ts(t), args)
+}
+
+func (e *eventWriter) counter(pid int, t int64, depth int64) {
+	e.emit(`{"name":"cmdq","ph":"C","pid":%d,"tid":0,"ts":%s,"args":{"depth":%d}}`,
+		pid, ts(t), depth)
+}
+
+func (e *eventWriter) event(pid int, ev Event) {
+	switch ev.Kind {
+	case EvCmdEnqueue:
+		e.async(pid, ev.TID, "b", "queued", ev.A, ev.TS)
+		e.counter(pid, ev.TS, ev.B)
+	case EvCmdDequeue:
+		e.async(pid, ev.TID, "e", "queued", ev.A, ev.TS)
+		e.async(pid, ev.TID, "b", "mpi", ev.A, ev.TS)
+		e.counter(pid, ev.TS, ev.B)
+	case EvCmdComplete:
+		e.async(pid, ev.TID, "e", "mpi", ev.A, ev.TS)
+	case EvIssueEager, EvIssueRdv, EvIssueRecv, EvCTS, EvRdvFin:
+		e.instant(pid, ev.TID, ev.Kind.String(), ev.TS,
+			fmt.Sprintf(`,"args":{"bytes":%d,"peer":%d}`, ev.A, ev.B))
+	case EvRetransmit:
+		e.instant(pid, ev.TID, "retransmit", ev.TS,
+			fmt.Sprintf(`,"args":{"seq":%d,"peer":%d}`, ev.A, ev.B))
+	case EvWatchdog:
+		e.instant(pid, ev.TID, "watchdog", ev.TS,
+			fmt.Sprintf(`,"args":{"peer":%d}`, ev.A))
+	case EvConvert:
+		e.instant(pid, ev.TID, "convert", ev.TS, "")
+	default:
+		e.instant(pid, ev.TID, "unknown", ev.TS, "")
+	}
+}
+
+// Summary renders a compact text digest of a trace: one line per run with
+// event totals and the headline per-layer counters.
+func Summary(tr *Trace) string {
+	var sb strings.Builder
+	for ri, run := range tr.Runs {
+		var m RankMetrics
+		for _, rec := range run.Ranks {
+			m.Add(rec.Metrics())
+		}
+		fmt.Fprintf(&sb,
+			"run %d [%s]: ranks=%d events=%d dropped=%d cmds=%d/%d/%d "+
+				"duty(issue/progress/idle)=%d/%d/%d ns polls=%d conv=%d rexmit=%d wd=%d\n",
+			ri, run.Label, len(run.Ranks), m.Events, m.EventsDropped,
+			m.CmdEnq, m.CmdDeq, m.CmdDone,
+			m.IssueNs, m.ProgressNs, m.IdleNs,
+			m.TestanyPolls, m.Conversions, m.Retransmits, m.WatchdogTrips)
+	}
+	return sb.String()
+}

@@ -1,0 +1,419 @@
+// Package obs is the offload engine's observability layer: a low-overhead,
+// virtual-time-stamped event tracer plus per-layer metrics counters.
+//
+// A Trace is created per experiment and attached to simulated clusters via
+// sim.Config.Trace; each sim.Run registers one RunTrace holding a Recorder
+// per rank. Instrumentation hooks in internal/core (offload loop),
+// internal/queue, internal/reqpool, internal/proto (eager/rendezvous/
+// reliable delivery/watchdog) and package mpi call Recorder methods; every
+// hook is nil-safe and gated on an atomic enable flag, so the cost of a
+// hook on a disabled or absent recorder is a nil check plus at most one
+// atomic load (see TestDisabledHookOverhead).
+//
+// Events live in a fixed-capacity per-rank ring buffer (oldest entries are
+// overwritten; the drop count is reported). Timestamps are virtual
+// nanoseconds from the vclock kernel, so traces are bit-deterministic for a
+// given configuration and seed. WriteChrome exports the Chrome trace_event
+// JSON consumed by chrome://tracing and Perfetto; Summary renders a compact
+// text digest.
+package obs
+
+import (
+	"strings"
+	"sync/atomic"
+)
+
+// Kind discriminates trace events.
+type Kind uint8
+
+// Event kinds. The command-lifecycle kinds (Enqueue/Dequeue/Complete) form
+// the enqueue→issue→complete spans of the offload path; the rest are
+// instants on the rank's timeline.
+const (
+	EvCmdEnqueue  Kind = iota + 1 // A=cmd id, B=queue depth after enqueue
+	EvCmdDequeue                  // A=cmd id, B=queue depth after dequeue
+	EvCmdComplete                 // A=cmd id
+	EvIssueEager                  // A=bytes, B=peer
+	EvIssueRdv                    // A=bytes, B=peer (RTS emitted)
+	EvIssueRecv                   // A=declared bytes, B=peer (AnySource = -1)
+	EvCTS                         // A=bytes, B=peer (CTS answered to an RTS)
+	EvRdvFin                      // A=bytes, B=peer (rendezvous data landed)
+	EvRetransmit                  // A=seq, B=peer
+	EvWatchdog                    // A=peer (request failed by the watchdog)
+	EvConvert                     // blocking call converted to nonblocking
+)
+
+// String names the kind as it appears in exported traces.
+func (k Kind) String() string {
+	switch k {
+	case EvCmdEnqueue:
+		return "cmd.enqueue"
+	case EvCmdDequeue:
+		return "cmd.dequeue"
+	case EvCmdComplete:
+		return "cmd.complete"
+	case EvIssueEager:
+		return "issue.eager"
+	case EvIssueRdv:
+		return "issue.rdv"
+	case EvIssueRecv:
+		return "issue.recv"
+	case EvCTS:
+		return "cts"
+	case EvRdvFin:
+		return "rdv.fin"
+	case EvRetransmit:
+		return "retransmit"
+	case EvWatchdog:
+		return "watchdog"
+	case EvConvert:
+		return "convert"
+	}
+	return "unknown"
+}
+
+// Thread classes: every event is attributed to the class of simulated
+// thread that produced it.
+const (
+	TApp   uint8 = iota // application (master or team) thread
+	TAgent              // dedicated agent: offload, comm-self or core-spec
+	TNIC                // NIC/timer context (no simulated CPU)
+	NumTID
+)
+
+// TIDName names a thread class as it appears in exported traces.
+func TIDName(tid uint8) string {
+	switch tid {
+	case TApp:
+		return "app"
+	case TAgent:
+		return "agent"
+	case TNIC:
+		return "nic"
+	}
+	return "?"
+}
+
+// TaskClass classifies a vclock task by its name: the dedicated
+// communication threads spawned by the sim layer are agents, everything
+// else is application.
+func TaskClass(name string) uint8 {
+	if strings.HasPrefix(name, "offload.") ||
+		strings.HasPrefix(name, "commself.") ||
+		strings.HasPrefix(name, "corespec.") {
+		return TAgent
+	}
+	return TApp
+}
+
+// Event is one trace record: a virtual timestamp, a kind, the producing
+// thread class, and two kind-specific arguments.
+type Event struct {
+	TS   int64 // virtual ns
+	A, B int64
+	Kind Kind
+	TID  uint8
+}
+
+// RankMetrics are the per-rank counters the recorder accumulates. The sim
+// layer folds them (together with the always-on engine/offloader/queue
+// counters) into sim.Metrics.
+type RankMetrics struct {
+	Rank int
+
+	// Event-buffer accounting.
+	Events        int64 // events recorded (including overwritten ones)
+	EventsDropped int64 // events overwritten after the ring wrapped
+
+	// Command-path counts observed by the tracer.
+	CmdEnq, CmdDeq, CmdDone int64
+
+	// Offload-thread duty cycle, split into issuing commands, driving
+	// MPI_Testany-style progress, and idling (virtual ns).
+	IssueNs, ProgressNs, IdleNs int64
+	// TestanyPolls counts offload-thread progress rounds taken with
+	// requests in flight; with CmdDone it yields polls-per-completion.
+	TestanyPolls int64
+
+	// Per-thread-class attribution of MPI activity.
+	IssuesByTID   [NumTID]int64 // Isend/Irecv posts entering the engine
+	ProgressByTID [NumTID]int64 // progress-engine invocations
+
+	// Protocol-path counts observed by the tracer.
+	Conversions   int64 // blocking→nonblocking conversions (offload §3.3)
+	Retransmits   int64
+	WatchdogTrips int64
+}
+
+// Add accumulates o into m (Rank is left alone).
+func (m *RankMetrics) Add(o RankMetrics) {
+	m.Events += o.Events
+	m.EventsDropped += o.EventsDropped
+	m.CmdEnq += o.CmdEnq
+	m.CmdDeq += o.CmdDeq
+	m.CmdDone += o.CmdDone
+	m.IssueNs += o.IssueNs
+	m.ProgressNs += o.ProgressNs
+	m.IdleNs += o.IdleNs
+	m.TestanyPolls += o.TestanyPolls
+	for i := range m.IssuesByTID {
+		m.IssuesByTID[i] += o.IssuesByTID[i]
+	}
+	for i := range m.ProgressByTID {
+		m.ProgressByTID[i] += o.ProgressByTID[i]
+	}
+	m.Conversions += o.Conversions
+	m.Retransmits += o.Retransmits
+	m.WatchdogTrips += o.WatchdogTrips
+}
+
+// Options configures a Trace.
+type Options struct {
+	// RingCap is the per-rank event-buffer capacity (default 1<<14).
+	// Oldest events are overwritten once it fills.
+	RingCap int
+}
+
+// Trace collects the observability data of one experiment: one RunTrace
+// per sim.Run executed with the trace attached. The enable flag is shared
+// by every recorder, so a whole experiment's instrumentation can be
+// toggled with one atomic store.
+type Trace struct {
+	opts Options
+	on   atomic.Bool
+	Runs []*RunTrace
+}
+
+// RunTrace holds one simulation run's recorders, one per rank.
+type RunTrace struct {
+	Label string
+	Ranks []*Recorder
+}
+
+// NewTrace returns an enabled trace.
+func NewTrace(opts Options) *Trace {
+	if opts.RingCap <= 0 {
+		opts.RingCap = 1 << 14
+	}
+	tr := &Trace{opts: opts}
+	tr.on.Store(true)
+	return tr
+}
+
+// SetEnabled toggles all recorders of the trace at once.
+func (tr *Trace) SetEnabled(on bool) { tr.on.Store(on) }
+
+// StartRun registers a new run of n ranks and returns its recorders.
+func (tr *Trace) StartRun(label string, n int) *RunTrace {
+	run := &RunTrace{Label: label, Ranks: make([]*Recorder, n)}
+	for r := 0; r < n; r++ {
+		run.Ranks[r] = &Recorder{
+			on:   &tr.on,
+			rank: r,
+			ring: make([]Event, tr.opts.RingCap),
+		}
+	}
+	tr.Runs = append(tr.Runs, run)
+	return run
+}
+
+// Events reports the total events recorded across all runs and ranks.
+func (tr *Trace) Events() int64 {
+	var n int64
+	for _, run := range tr.Runs {
+		for _, rec := range run.Ranks {
+			n += int64(rec.n)
+		}
+	}
+	return n
+}
+
+// Recorder is the per-rank event ring plus metric counters. The zero/nil
+// recorder is valid and permanently disabled: every hook is nil-safe, and
+// a disabled hook costs a nil check plus one atomic load.
+type Recorder struct {
+	on   *atomic.Bool
+	rank int
+	ring []Event
+	n    uint64 // total events pushed (ring index = n % cap)
+	M    RankMetrics
+}
+
+// NewRecorder returns a standalone enabled recorder (tests and tools; the
+// sim layer obtains recorders from Trace.StartRun).
+func NewRecorder(rank, ringCap int) *Recorder {
+	if ringCap <= 0 {
+		ringCap = 1 << 14
+	}
+	on := new(atomic.Bool)
+	on.Store(true)
+	return &Recorder{on: on, rank: rank, ring: make([]Event, ringCap)}
+}
+
+// Enabled reports whether the recorder is live. This is the whole cost of
+// a disabled hook: nil check + one atomic load.
+func (r *Recorder) Enabled() bool { return r != nil && r.on.Load() }
+
+// SetEnabled toggles a standalone recorder (recorders from Trace.StartRun
+// share the trace's flag; toggle that instead).
+func (r *Recorder) SetEnabled(on bool) { r.on.Store(on) }
+
+// Rank returns the recorder's rank.
+func (r *Recorder) Rank() int { return r.rank }
+
+// Metrics returns a copy of the accumulated counters with the
+// event-accounting fields brought up to date.
+func (r *Recorder) Metrics() RankMetrics {
+	if r == nil {
+		return RankMetrics{}
+	}
+	m := r.M
+	m.Rank = r.rank
+	m.Events = int64(r.n)
+	if d := int64(r.n) - int64(len(r.ring)); d > 0 {
+		m.EventsDropped = d
+	}
+	return m
+}
+
+// Events returns the retained events in chronological order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	c := uint64(len(r.ring))
+	if r.n <= c {
+		out := make([]Event, r.n)
+		copy(out, r.ring[:r.n])
+		return out
+	}
+	out := make([]Event, 0, c)
+	start := r.n % c
+	out = append(out, r.ring[start:]...)
+	out = append(out, r.ring[:start]...)
+	return out
+}
+
+func (r *Recorder) push(ev Event) {
+	r.ring[r.n%uint64(len(r.ring))] = ev
+	r.n++
+}
+
+// ---- hooks -------------------------------------------------------------
+//
+// Every hook self-gates on Enabled; callers just call them. Hooks that
+// record both an event and counters still pay only one atomic load.
+
+// CmdEnqueued records a command entering the offload queue.
+func (r *Recorder) CmdEnqueued(ts int64, tid uint8, id int64, depth int) {
+	if !r.Enabled() {
+		return
+	}
+	r.M.CmdEnq++
+	r.push(Event{TS: ts, Kind: EvCmdEnqueue, TID: tid, A: id, B: int64(depth)})
+}
+
+// CmdDequeued records the offload thread popping a command.
+func (r *Recorder) CmdDequeued(ts int64, id int64, depth int) {
+	if !r.Enabled() {
+		return
+	}
+	r.M.CmdDeq++
+	r.push(Event{TS: ts, Kind: EvCmdDequeue, TID: TAgent, A: id, B: int64(depth)})
+}
+
+// CmdCompleted records a command's done flag being set.
+func (r *Recorder) CmdCompleted(ts int64, id int64) {
+	if !r.Enabled() {
+		return
+	}
+	r.M.CmdDone++
+	r.push(Event{TS: ts, Kind: EvCmdComplete, TID: TAgent, A: id})
+}
+
+// DutyIssue charges ns of offload-thread time to command issue.
+func (r *Recorder) DutyIssue(ns int64) {
+	if !r.Enabled() {
+		return
+	}
+	r.M.IssueNs += ns
+}
+
+// DutyProgress charges ns of offload-thread time to Testany progress.
+func (r *Recorder) DutyProgress(ns int64) {
+	if !r.Enabled() {
+		return
+	}
+	r.M.ProgressNs += ns
+	r.M.TestanyPolls++
+}
+
+// DutyIdle charges ns of offload-thread time to idling.
+func (r *Recorder) DutyIdle(ns int64) {
+	if !r.Enabled() {
+		return
+	}
+	r.M.IdleNs += ns
+}
+
+// Issued records an Isend/Irecv entering the protocol engine. kind must be
+// one of EvIssueEager, EvIssueRdv, EvIssueRecv.
+func (r *Recorder) Issued(ts int64, tid uint8, kind Kind, bytes, peer int) {
+	if !r.Enabled() {
+		return
+	}
+	r.M.IssuesByTID[tid]++
+	r.push(Event{TS: ts, Kind: kind, TID: tid, A: int64(bytes), B: int64(peer)})
+}
+
+// Progressed counts one progress-engine invocation by thread class.
+func (r *Recorder) Progressed(tid uint8) {
+	if !r.Enabled() {
+		return
+	}
+	r.M.ProgressByTID[tid]++
+}
+
+// CtsAnswered records a CTS sent in answer to a rendezvous RTS.
+func (r *Recorder) CtsAnswered(ts int64, tid uint8, bytes, peer int) {
+	if !r.Enabled() {
+		return
+	}
+	r.push(Event{TS: ts, Kind: EvCTS, TID: tid, A: int64(bytes), B: int64(peer)})
+}
+
+// RdvDone records rendezvous data landing (FIN: the transfer finished).
+func (r *Recorder) RdvDone(ts int64, tid uint8, bytes, peer int) {
+	if !r.Enabled() {
+		return
+	}
+	r.push(Event{TS: ts, Kind: EvRdvFin, TID: tid, A: int64(bytes), B: int64(peer)})
+}
+
+// Retransmitted records a reliable-delivery retransmission (NIC context).
+func (r *Recorder) Retransmitted(ts int64, seq int64, peer int) {
+	if !r.Enabled() {
+		return
+	}
+	r.M.Retransmits++
+	r.push(Event{TS: ts, Kind: EvRetransmit, TID: TNIC, A: seq, B: int64(peer)})
+}
+
+// WatchdogTripped records the watchdog failing a request (timer context).
+func (r *Recorder) WatchdogTripped(ts int64, peer int) {
+	if !r.Enabled() {
+		return
+	}
+	r.M.WatchdogTrips++
+	r.push(Event{TS: ts, Kind: EvWatchdog, TID: TNIC, A: int64(peer)})
+}
+
+// Converted records a blocking call converted to nonblocking + done-flag
+// wait (the offload path's §3.3 conversion).
+func (r *Recorder) Converted(ts int64, tid uint8) {
+	if !r.Enabled() {
+		return
+	}
+	r.M.Conversions++
+	r.push(Event{TS: ts, Kind: EvConvert, TID: tid})
+}

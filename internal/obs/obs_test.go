@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	// Every hook must be a no-op on a nil recorder.
+	r.CmdEnqueued(1, TApp, 1, 1)
+	r.CmdDequeued(1, 1, 0)
+	r.CmdCompleted(1, 1)
+	r.DutyIssue(1)
+	r.DutyProgress(1)
+	r.DutyIdle(1)
+	r.Issued(1, TApp, EvIssueEager, 8, 1)
+	r.Progressed(TApp)
+	r.CtsAnswered(1, TApp, 8, 1)
+	r.RdvDone(1, TApp, 8, 1)
+	r.Retransmitted(1, 1, 1)
+	r.WatchdogTripped(1, 1)
+	r.Converted(1, TApp)
+	if got := r.Metrics(); got != (RankMetrics{}) {
+		t.Fatalf("nil recorder accumulated metrics: %+v", got)
+	}
+	if ev := r.Events(); ev != nil {
+		t.Fatalf("nil recorder has events: %v", ev)
+	}
+}
+
+func TestDisabledRecorderRecordsNothing(t *testing.T) {
+	tr := NewTrace(Options{RingCap: 8})
+	run := tr.StartRun("x", 1)
+	tr.SetEnabled(false)
+	rec := run.Ranks[0]
+	rec.CmdEnqueued(1, TApp, 1, 1)
+	rec.Progressed(TAgent)
+	if n := len(rec.Events()); n != 0 {
+		t.Fatalf("disabled recorder stored %d events", n)
+	}
+	tr.SetEnabled(true)
+	rec.CmdEnqueued(2, TApp, 2, 1)
+	if n := len(rec.Events()); n != 1 {
+		t.Fatalf("re-enabled recorder stored %d events, want 1", n)
+	}
+}
+
+func TestRingWrapKeepsNewestInOrder(t *testing.T) {
+	rec := NewRecorder(0, 4)
+	for i := 1; i <= 10; i++ {
+		rec.CmdCompleted(int64(i), int64(i))
+	}
+	evs := rec.Events()
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want ring cap 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := int64(7 + i); ev.TS != want {
+			t.Fatalf("event %d has ts %d, want %d (newest-in-order)", i, ev.TS, want)
+		}
+	}
+	m := rec.Metrics()
+	if m.Events != 10 || m.EventsDropped != 6 {
+		t.Fatalf("events/dropped = %d/%d, want 10/6", m.Events, m.EventsDropped)
+	}
+}
+
+func TestTaskClass(t *testing.T) {
+	cases := map[string]uint8{
+		"rank0":      TApp,
+		"rank3.thr7": TApp,
+		"offload.2":  TAgent,
+		"commself.0": TAgent,
+		"corespec.1": TAgent,
+		"test":       TApp,
+	}
+	for name, want := range cases {
+		if got := TaskClass(name); got != want {
+			t.Errorf("TaskClass(%q) = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestRankMetricsAdd(t *testing.T) {
+	a := RankMetrics{CmdEnq: 1, IssueNs: 10, Conversions: 2}
+	a.IssuesByTID[TAgent] = 3
+	b := RankMetrics{CmdEnq: 2, IssueNs: 5, Conversions: 1}
+	b.IssuesByTID[TAgent] = 4
+	a.Add(b)
+	if a.CmdEnq != 3 || a.IssueNs != 15 || a.Conversions != 3 || a.IssuesByTID[TAgent] != 7 {
+		t.Fatalf("Add mismatch: %+v", a)
+	}
+}
+
+// TestChromeExportIsValidJSON checks the exporter produces well-formed
+// trace_event JSON covering every event kind, with span pairs intact.
+func TestChromeExportIsValidJSON(t *testing.T) {
+	tr := NewTrace(Options{RingCap: 64})
+	run := tr.StartRun("offload x2", 2)
+	r0 := run.Ranks[0]
+	r0.CmdEnqueued(100, TApp, 1, 1)
+	r0.CmdDequeued(200, 1, 0)
+	r0.Issued(210, TAgent, EvIssueRdv, 1<<20, 1)
+	r0.CtsAnswered(300, TAgent, 1<<20, 1)
+	r0.RdvDone(400, TNIC, 1<<20, 1)
+	r0.CmdCompleted(500, 1)
+	r0.Issued(600, TAgent, EvIssueEager, 8, 1)
+	r0.Issued(610, TAgent, EvIssueRecv, 8, -1)
+	r0.Retransmitted(700, 3, 1)
+	r0.WatchdogTripped(800, 1)
+	r0.Converted(900, TApp)
+	run.Ranks[1].Progressed(TAgent)
+
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	begins, ends := 0, 0
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "b":
+			begins++
+		case "e":
+			ends++
+		}
+	}
+	if begins != 2 || ends != 2 {
+		t.Fatalf("async span halves = %d/%d, want 2/2 (queued + mpi)", begins, ends)
+	}
+	for _, name := range []string{"queued", "mpi", "issue.rdv", "cts", "rdv.fin",
+		"issue.eager", "issue.recv", "retransmit", "watchdog", "convert", "cmdq"} {
+		if !strings.Contains(buf.String(), `"name":"`+name+`"`) {
+			t.Errorf("exported trace missing %q events", name)
+		}
+	}
+}
+
+func TestSummary(t *testing.T) {
+	tr := NewTrace(Options{RingCap: 8})
+	run := tr.StartRun("baseline x2", 2)
+	run.Ranks[0].CmdEnqueued(1, TApp, 1, 1)
+	s := Summary(tr)
+	if !strings.Contains(s, "baseline x2") || !strings.Contains(s, "ranks=2") {
+		t.Fatalf("summary missing run info: %q", s)
+	}
+}
+
+func TestTimestampRendering(t *testing.T) {
+	for ns, want := range map[int64]string{
+		0:       "0.000",
+		999:     "0.999",
+		1000:    "1.000",
+		1234567: "1234.567",
+	} {
+		if got := ts(ns); got != want {
+			t.Errorf("ts(%d) = %q, want %q", ns, got, want)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+//go:build !race
+
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// hookSink is package-level so the compiler cannot devirtualize or prove
+// the receiver nil and delete the atomic load we are measuring.
+var hookSink *Recorder
+
+// TestDisabledHookOverhead proves the tentpole's overhead budget: a hook on
+// a disabled (but present) recorder must cost under 5 ns — a nil check plus
+// one atomic load. Measured by hand (not testing.Benchmark) so the whole
+// check runs in milliseconds; the minimum over several rounds discards
+// scheduler noise. Excluded under -race, whose instrumentation multiplies
+// the cost of every atomic op.
+func TestDisabledHookOverhead(t *testing.T) {
+	rec := NewRecorder(0, 8)
+	rec.on.Store(false)
+	hookSink = rec
+	defer func() { hookSink = nil }()
+
+	const iters = 2_000_000
+	best := time.Duration(1 << 62)
+	for round := 0; round < 5; round++ {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			hookSink.Progressed(TApp)
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	nsPerOp := float64(best.Nanoseconds()) / iters
+	t.Logf("disabled hook: %.2f ns/op", nsPerOp)
+	if nsPerOp >= 5 {
+		t.Errorf("disabled hook costs %.2f ns/op, want < 5", nsPerOp)
+	}
+	if got := len(rec.Events()); got != 0 {
+		t.Fatalf("disabled hook recorded %d events", got)
+	}
+}

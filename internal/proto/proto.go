@@ -28,6 +28,7 @@ import (
 
 	"mpioffload/internal/fabric"
 	"mpioffload/internal/model"
+	"mpioffload/internal/obs"
 	"mpioffload/internal/vclock"
 )
 
@@ -185,6 +186,15 @@ type Engine struct {
 	// park on completion notifications instead of polling per arrival.
 	HasAgent bool
 
+	// Obs is this rank's observability recorder. It may be nil (or
+	// disabled): every hook self-gates at the cost of a nil check plus one
+	// atomic load.
+	Obs *obs.Recorder
+	// obsTID is the thread class of the most recent classified entry into
+	// the engine (Progress); handle() events inherit it, since packets are
+	// processed on whichever thread drives progress.
+	obsTID uint8
+
 	activity *vclock.Event
 	actSeq   uint64
 	inbox    []*fabric.Packet
@@ -274,6 +284,10 @@ func (e *Engine) deliver(pkt *fabric.Packet) {
 		if d.recvOp.Err == nil {
 			copy(d.recvOp.Buf, d.sendOp.Buf)
 		}
+		// The sender learns of the transfer's completion from its own NIC.
+		if se := d.sendOp.Eng; se.Obs.Enabled() {
+			se.Obs.RdvDone(se.K.Now(), obs.TNIC, pkt.Bytes, pkt.Dst)
+		}
 		d.sendOp.Eng.completeOp(d.sendOp, Status{})
 	}
 	if needsSW, handled := e.deliverRMA(pkt.Payload); handled && !needsSW {
@@ -350,6 +364,13 @@ func (e *Engine) IsendBW(t *vclock.Task, buf []byte, dst, tag, comm int, bwDiv f
 // them; only len(buf) real bytes are carried.
 func (e *Engine) IsendN(t *vclock.Task, buf []byte, n, dst, tag, comm int, bwDiv float64) *Op {
 	op, cost := e.IsendNCost(buf, n, dst, tag, comm, bwDiv)
+	if e.Obs.Enabled() {
+		kind := obs.EvIssueRdv
+		if e.P.Eager(n) {
+			kind = obs.EvIssueEager
+		}
+		e.Obs.Issued(t.Now(), obs.TaskClass(t.Name), kind, n, dst)
+	}
 	t.SleepF(cost)
 	return op
 }
@@ -389,6 +410,9 @@ func (e *Engine) Irecv(t *vclock.Task, buf []byte, src, tag, comm int) *Op {
 // (the phantom counterpart of IsendN).
 func (e *Engine) IrecvN(t *vclock.Task, buf []byte, n, src, tag, comm int) *Op {
 	op, cost := e.IrecvNCost(buf, n, src, tag, comm)
+	if e.Obs.Enabled() {
+		e.Obs.Issued(t.Now(), obs.TaskClass(t.Name), obs.EvIssueRecv, n, src)
+	}
 	t.SleepF(cost)
 	return op
 }
@@ -527,6 +551,10 @@ func copyChecked(op *Op, data []byte, wire, from int) {
 // schedules. The caller is charged the software cost of everything done.
 func (e *Engine) Progress(t *vclock.Task) {
 	e.stats.ProgressCalls++
+	if e.Obs.Enabled() {
+		e.obsTID = obs.TaskClass(t.Name)
+		e.Obs.Progressed(e.obsTID)
+	}
 	cost := e.P.ProgressQuantum
 	for len(e.inbox) > 0 {
 		pkt := e.inbox[0]
@@ -573,6 +601,9 @@ func (e *Engine) handle(pkt *fabric.Packet) float64 {
 		if op != nil {
 			cost += e.P.RTSCost
 			e.sendRel(pkt.Src, ctlBytes, 1, &ctsMsg{sendOp: m.op, recvOp: op, bwDiv: m.bwDiv})
+			if e.Obs.Enabled() {
+				e.Obs.CtsAnswered(e.K.Now(), e.obsTID, m.bytes, pkt.Src)
+			}
 			return cost
 		}
 		e.addUnexpected(&uxEntry{
@@ -591,6 +622,9 @@ func (e *Engine) handle(pkt *fabric.Packet) float64 {
 	case rdvData:
 		// Data landed in the user buffer at delivery time (RDMA); here the
 		// receiver's software merely notices the completion-queue entry.
+		if e.Obs.Enabled() {
+			e.Obs.RdvDone(e.K.Now(), e.obsTID, pkt.Bytes, pkt.Src)
+		}
 		e.completeOp(m.recvOp, Status{Source: pkt.Src, Tag: m.recvOp.Tag, Count: pkt.Bytes})
 		return e.P.MatchCost
 	default:

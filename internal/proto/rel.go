@@ -160,6 +160,7 @@ func (e *Engine) armRetransmit(p *relPending, rto float64) {
 		}
 		p.tries++
 		e.relStats.Retransmits++
+		e.Obs.Retransmitted(e.K.Now(), int64(p.seq), p.dst)
 		e.F.Send(e.Rank, p.dst, p.bytes, p.bwDiv, &relMsg{from: e.Rank, seq: p.seq, bytes: p.bytes, inner: p.inner})
 		shift := p.tries
 		if shift > maxBackoffShift {
@@ -286,6 +287,7 @@ func (e *Engine) failOp(op *Op, err error) {
 		return
 	}
 	e.stats.WatchdogTrips++
+	e.Obs.WatchdogTripped(e.K.Now(), op.Peer)
 	op.Err = fmt.Errorf("%w (rank %d %s peer %d after %.0f ns)",
 		err, e.Rank, opKind(op), op.Peer, e.Deadline)
 	if op.queued && !op.matched {

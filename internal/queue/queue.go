@@ -32,6 +32,7 @@ type MPMC[T any] struct {
 	_     pad
 	deq   atomic.Uint64
 	_     pad
+	hwm   atomic.Uint64 // observed depth high-water mark
 }
 
 // NewMPMC returns a queue with capacity rounded up to the next power of two
@@ -62,6 +63,7 @@ func (q *MPMC[T]) TryEnqueue(v T) bool {
 			if q.enq.CompareAndSwap(pos, pos+1) {
 				s.val = v
 				s.seq.Store(pos + 1)
+				q.noteDepth(pos + 1 - q.deq.Load())
 				return true
 			}
 			pos = q.enq.Load()
@@ -72,6 +74,22 @@ func (q *MPMC[T]) TryEnqueue(v T) bool {
 		}
 	}
 }
+
+// noteDepth raises the high-water mark to d (monotonic CAS-max). The depth
+// read racing concurrent dequeues can only under-estimate, so the mark is a
+// conservative lower bound under true concurrency and exact in the
+// single-scheduler simulation.
+func (q *MPMC[T]) noteDepth(d uint64) {
+	for {
+		h := q.hwm.Load()
+		if int64(d) <= int64(h) || q.hwm.CompareAndSwap(h, d) {
+			return
+		}
+	}
+}
+
+// HighWater reports the deepest the queue has been since creation.
+func (q *MPMC[T]) HighWater() int { return int(q.hwm.Load()) }
 
 // TryDequeue removes the oldest element, reporting false if empty.
 func (q *MPMC[T]) TryDequeue() (T, bool) {
@@ -118,6 +136,7 @@ type SPSC[T any] struct {
 	_    pad
 	tail atomic.Uint64 // next write index (producer-owned)
 	_    pad
+	hwm  atomic.Uint64 // observed depth high-water mark (producer-written)
 }
 
 // NewSPSC returns a ring with capacity rounded up to the next power of two
@@ -142,8 +161,14 @@ func (q *SPSC[T]) TryEnqueue(v T) bool {
 	}
 	q.buf[t&q.mask] = v
 	q.tail.Store(t + 1)
+	if d := t + 1 - q.head.Load(); d > q.hwm.Load() {
+		q.hwm.Store(d) // single producer: a plain racy max suffices
+	}
 	return true
 }
+
+// HighWater reports the deepest the ring has been since creation.
+func (q *SPSC[T]) HighWater() int { return int(q.hwm.Load()) }
 
 // TryDequeue removes the oldest element, reporting false if empty. Must be
 // called from the single consumer only.

@@ -28,10 +28,12 @@ const idxBits = 32
 
 // Pool is a fixed-size lock-free pool of request slots, addressed by index.
 type Pool struct {
-	head atomic.Uint64  // generation<<32 | (index+1); 0 means empty
-	next []atomic.Int64 // free-list links: index+1, 0 terminates
-	done []atomic.Uint32
-	size int
+	head  atomic.Uint64  // generation<<32 | (index+1); 0 means empty
+	next  []atomic.Int64 // free-list links: index+1, 0 terminates
+	done  []atomic.Uint32
+	size  int
+	inUse atomic.Int64 // slots currently allocated
+	hwm   atomic.Int64 // occupancy high-water mark
 }
 
 // New returns a pool with n slots, all free.
@@ -80,6 +82,13 @@ func (p *Pool) Get() int {
 		next := p.next[idx].Load()
 		if p.head.CompareAndSwap(old, pack(gen+1, next)) {
 			p.done[idx].Store(0)
+			n := p.inUse.Add(1)
+			for {
+				h := p.hwm.Load()
+				if n <= h || p.hwm.CompareAndSwap(h, n) {
+					break
+				}
+			}
 			return idx
 		}
 	}
@@ -96,10 +105,17 @@ func (p *Pool) Put(idx int) {
 		gen, ip1 := unpack(old)
 		p.next[idx].Store(ip1)
 		if p.head.CompareAndSwap(old, pack(gen+1, int64(idx)+1)) {
+			p.inUse.Add(-1)
 			return
 		}
 	}
 }
+
+// InUse reports the number of slots currently allocated.
+func (p *Pool) InUse() int { return int(p.inUse.Load()) }
+
+// HighWater reports the peak number of simultaneously allocated slots.
+func (p *Pool) HighWater() int { return int(p.hwm.Load()) }
 
 // SetDone marks the slot's operation complete (offload-thread side).
 func (p *Pool) SetDone(idx int) { p.done[idx].Store(1) }

@@ -23,6 +23,7 @@ import (
 
 	"mpioffload/internal/coll"
 	"mpioffload/internal/core"
+	"mpioffload/internal/obs"
 	"mpioffload/internal/proto"
 	"mpioffload/internal/vclock"
 )
@@ -196,14 +197,24 @@ func (c *Comm) Irecv(buf []byte, src, tag int) Request {
 // Send is the blocking send: Isend + Wait. Through the offload path this is
 // the paper's §3.3 blocking→nonblocking conversion.
 func (c *Comm) Send(buf []byte, dst, tag int) {
+	c.noteConvert()
 	r := c.Isend(buf, dst, tag)
 	c.Wait(&r)
 }
 
 // Recv is the blocking receive; it returns the completion status.
 func (c *Comm) Recv(buf []byte, src, tag int) Status {
+	c.noteConvert()
 	r := c.Irecv(buf, src, tag)
 	return c.Wait(&r)
+}
+
+// noteConvert records a blocking point-to-point call taking the offload
+// path, where it runs as nonblocking + done-flag wait (§3.3).
+func (c *Comm) noteConvert() {
+	if st := c.st; st.off != nil && st.eng.Obs.Enabled() {
+		st.eng.Obs.Converted(c.t.Now(), obs.TaskClass(c.t.Name))
+	}
 }
 
 // Wait blocks until the request completes and returns the receive status

@@ -27,6 +27,7 @@ import (
 	"mpioffload/internal/fabric"
 	"mpioffload/internal/fault"
 	"mpioffload/internal/model"
+	"mpioffload/internal/obs"
 	"mpioffload/internal/proto"
 	"mpioffload/internal/vclock"
 	"mpioffload/mpi"
@@ -93,6 +94,11 @@ type Config struct {
 	// mpi.ErrTimeout (or mpi.ErrRankFailed when the peer crashed) instead
 	// of blocking its Wait forever. 0 disables the watchdog.
 	Watchdog float64
+	// Trace, when non-nil, attaches an event recorder to every rank: the
+	// run registers itself via Trace.StartRun and per-thread-class counters
+	// and span events appear in Result (and in the Chrome export). nil
+	// leaves only the always-on counters active.
+	Trace *obs.Trace
 }
 
 // Result summarizes a cluster run.
@@ -106,6 +112,15 @@ type Result struct {
 	// Resilience aggregates fault-injection and recovery counters across
 	// the cluster (all zero when no fault plan or watchdog is configured).
 	Resilience Resilience
+	// Metrics aggregates the per-layer observability counters across the
+	// cluster. The always-on counters (command path, queue/pool high-water
+	// marks, protocol stats) are filled on every run; the tracer-derived
+	// counters (thread-class attribution, duty cycle, conversions) are
+	// filled only when Config.Trace was attached.
+	Metrics Metrics
+	// RankObs holds each rank's raw tracer counters when Config.Trace was
+	// attached (nil otherwise).
+	RankObs []obs.RankMetrics
 }
 
 // Resilience aggregates the fault, reliable-delivery and watchdog counters
@@ -343,11 +358,19 @@ func Run(cfg Config, program func(env *Env)) Result {
 	}
 	nodes := fab.Nodes()
 	engs := make([]*proto.Engine, 0, n)
+	offs := make([]*core.Offloader, n)
+	var runTrace *obs.RunTrace
+	if cfg.Trace != nil {
+		runTrace = cfg.Trace.StartRun(fmt.Sprintf("%s x%d", cfg.Approach, n), n)
+	}
 
 	for r := 0; r < n; r++ {
 		r := r
 		eng := proto.NewEngine(k, fab, prof, r)
 		eng.Deadline = cfg.Watchdog
+		if runTrace != nil {
+			eng.Obs = runTrace.Ranks[r]
+		}
 		engs = append(engs, eng)
 		var off *core.Offloader
 		hw := prof.ThreadsPerRank
@@ -368,6 +391,7 @@ func Run(cfg Config, program func(env *Env)) Result {
 			hw--
 			eff -= prof.OffloadThreadCost
 		}
+		offs[r] = off
 		if hw < 1 {
 			hw = 1
 		}
@@ -388,6 +412,13 @@ func Run(cfg Config, program func(env *Env)) Result {
 	res.Elapsed = k.Run()
 	res.Net = fab.Stats()
 	res.Resilience = resilienceOf(fab, engs)
+	res.Metrics = metricsOf(engs, offs)
+	if runTrace != nil {
+		res.RankObs = make([]obs.RankMetrics, n)
+		for r, rec := range runTrace.Ranks {
+			res.RankObs[r] = rec.Metrics()
+		}
+	}
 	return res
 }
 
