@@ -1,19 +1,22 @@
 # Tier-1 gate: everything `make ci` runs must stay green.
 #
-#   make ci      vet + build + full test suite + race subset
-#   make vet     go vet ./...
-#   make build   go build ./...
-#   make test    go test ./...
-#   make race    race detector on every internal package plus the sim and
-#                rt layers — the fuzz seeds for the lock-free queue and
-#                request pool run as unit tests here, so real-goroutine
-#                interleavings are probed under -race on every CI pass.
+#   make ci           vet + build + full test suite + race subset + bench smoke
+#   make vet          go vet ./...
+#   make build        go build ./...
+#   make test         go test ./...
+#   make race         race detector on every internal package plus the sim and
+#                     rt layers — the fuzz seeds for the lock-free queues and
+#                     request pool run as unit tests here, so real-goroutine
+#                     interleavings are probed under -race on every CI pass.
+#   make bench-smoke  tiny enqueue-scaling sweep (cmd/mtbench -mtscale) whose
+#                     output must pass the mtscale/v1 schema validator.
+#   make mtscale      full sweep, regenerates BENCH_mtscale.json in place.
 
 GO ?= go
 
-.PHONY: ci vet build test race
+.PHONY: ci vet build test race bench-smoke mtscale
 
-ci: vet build test race
+ci: vet build test race bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -26,3 +29,11 @@ test:
 
 race:
 	$(GO) test -race ./internal/... ./sim ./rt/...
+
+bench-smoke:
+	$(GO) run ./cmd/mtbench -mtscale -out /tmp/mtscale_smoke.json -scale-iters 3 -rt-iters 512
+	$(GO) run ./cmd/mtbench -validate /tmp/mtscale_smoke.json
+
+mtscale:
+	$(GO) run ./cmd/mtbench -mtscale -out BENCH_mtscale.json
+	$(GO) run ./cmd/mtbench -validate BENCH_mtscale.json

@@ -8,6 +8,7 @@ package bench
 
 import (
 	"mpioffload/internal/model"
+	"mpioffload/internal/obs"
 	"mpioffload/mpi"
 	"mpioffload/sim"
 )
@@ -316,6 +317,69 @@ func OSUMultithreadedLatency(cfg sim.Config, threads int, sizes []int, iters int
 			}
 		})
 		out = append(out, MTLatencyResult{Size: size, LatencyNs: lat})
+	}
+	return out
+}
+
+// MTScaleResult is one row of the enqueue-scaling sweep: the mean
+// application-side post cost with a given number of concurrently
+// submitting threads per rank. Under offload this must stay flat at
+// EnqueueCost — the sharded command queue gives every registered thread a
+// private SPSC shard, so adding submitters adds no serialization.
+type MTScaleResult struct {
+	Threads   int     `json:"threads"`
+	PostNs    float64 `json:"post_ns"`
+	MeanBatch float64 `json:"mean_batch"`
+}
+
+// MTPostScaling measures the mean Isend post time as the submitting
+// thread count grows (the enqueue half of Fig 6's contention story).
+// MeanBatch reports the offload thread's mean drain batch size, which
+// grows with thread count as commands arrive back-to-back.
+func MTPostScaling(cfg sim.Config, threadCounts []int, iters int) []MTScaleResult {
+	cfg = interNode(cfg)
+	cfg.Ranks = 2
+	cfg.ThreadLevel = sim.Multiple
+	out := make([]MTScaleResult, 0, len(threadCounts))
+	for _, threads := range threadCounts {
+		threads := threads
+		var post float64
+		// A trace recorder activates the offload thread's duty-cycle
+		// accounting, which is where MeanBatch comes from.
+		cfg.Trace = obs.NewTrace(obs.Options{})
+		res := run(cfg, func(env *Env) {
+			sum := make([]float64, threads)
+			cnt := make([]int, threads)
+			env.ParallelN(threads, func(th *sim.Thread) {
+				c := th.Comm
+				buf := make([]byte, 64)
+				tagBase := 10_000 * (th.ID + 1)
+				if env.Rank() == 0 {
+					for i := 0; i < iters; i++ {
+						t0 := th.Now()
+						r := c.Isend(buf, 1, tagBase+i)
+						sum[th.ID] += float64(th.Now() - t0)
+						cnt[th.ID]++
+						c.Wait(&r)
+					}
+				} else {
+					rbuf := make([]byte, 64)
+					for i := 0; i < iters; i++ {
+						r := c.Irecv(rbuf, 0, tagBase+i)
+						c.Wait(&r)
+					}
+				}
+			})
+			if env.Rank() == 0 {
+				s, n := 0.0, 0
+				for i := range sum {
+					s += sum[i]
+					n += cnt[i]
+				}
+				post = s / float64(n)
+			}
+		})
+		out = append(out, MTScaleResult{Threads: threads, PostNs: post, MeanBatch: res.Metrics.MeanBatch()})
 	}
 	return out
 }

@@ -33,6 +33,8 @@ func MetricsTable(m sim.Metrics) *Table {
 		fmt.Sprintf("%.1f%% / %.1f%% / %.1f%%", 100*issue, 100*progress, 100*idle))
 	t.Add("testany polls", m.TestanyPolls)
 	t.Add("polls per completion", m.PollsPerCompletion())
+	t.Add("drain batches", m.DrainBatches)
+	t.Add("mean drain batch size", fmt.Sprintf("%.2f", m.MeanBatch()))
 	t.Add("issues app/agent", fmt.Sprintf("%d / %d", m.IssuesApp, m.IssuesAgent))
 	t.Add("progress app/agent", fmt.Sprintf("%d / %d", m.ProgressApp, m.ProgressAgent))
 	t.Add("blocking conversions", m.Conversions)

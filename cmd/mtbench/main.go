@@ -1,9 +1,17 @@
 // Command mtbench regenerates the paper's Fig 6: the OSU multithreaded
 // latency benchmark under MPI_THREAD_MULTIPLE with 2, 4 and 8 thread
 // pairs per rank, comparing baseline, comm-self and offload.
+//
+// With -mtscale it instead runs the enqueue-scaling sweep: the mean
+// Isend post cost as the submitting thread count grows 1–16, in virtual
+// time (simulator, offload approach — must stay flat at EnqueueCost) and
+// in wall-clock (rt layer — private-shard submission via RegisterThread
+// versus the shared MPMC overflow path). The result is written as
+// BENCH_mtscale.json; -validate FILE checks such a document's schema.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -16,14 +24,33 @@ import (
 
 func main() {
 	profile := flag.String("profile", "endeavor", "endeavor | phi | edison")
-	iters := flag.Int("iters", 20, "measured iterations")
-	csv := flag.Bool("csv", false, "emit CSV")
+	iters := flag.Int("iters", 20, "measured iterations (Fig 6 mode)")
+	csv := flag.Bool("csv", false, "emit CSV (Fig 6 mode)")
+	mtscale := flag.Bool("mtscale", false, "run the enqueue-scaling sweep instead of Fig 6")
+	out := flag.String("out", "BENCH_mtscale.json", "output path for -mtscale")
+	scaleIters := flag.Int("scale-iters", 40, "posts per thread in the sim sweep")
+	rtIters := flag.Int("rt-iters", 20000, "posts per goroutine in the rt wall-clock sweep")
+	validate := flag.String("validate", "", "validate an existing BENCH_mtscale.json and exit")
 	flag.Parse()
+
+	if *validate != "" {
+		if err := validateMTScaleFile(*validate); err != nil {
+			log.Fatalf("invalid %s: %v", *validate, err)
+		}
+		fmt.Printf("%s: valid %s document\n", *validate, mtScaleSchema)
+		return
+	}
 
 	prof, err := model.ByName(*profile)
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	if *mtscale {
+		runMTScale(prof, *out, *scaleIters, *rtIters)
+		return
+	}
+
 	sizes := []int{8, 64, 512, 4 << 10, 32 << 10}
 	apps := []sim.Approach{sim.Baseline, sim.CommSelf, sim.Offload}
 
@@ -46,4 +73,37 @@ func main() {
 			t.Print(os.Stdout)
 		}
 	}
+}
+
+// mtScaleThreads is the sweep's thread-count axis.
+var mtScaleThreads = []int{1, 2, 4, 8, 16}
+
+func runMTScale(prof *model.Profile, out string, scaleIters, rtIters int) {
+	p := *prof
+	simRows := bench.MTPostScaling(sim.Config{Approach: sim.Offload, Profile: &p}, mtScaleThreads, scaleIters)
+	rtRows := rtPostScaling(mtScaleThreads, rtIters)
+	rep := &MTScaleReport{Schema: mtScaleSchema, Profile: prof.Name, Sim: simRows, RT: rtRows}
+	if err := validateMTScale(rep); err != nil {
+		log.Fatalf("generated report failed validation: %v", err)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	t := bench.NewTable(
+		fmt.Sprintf("Enqueue scaling, %s (sim: virtual post ns; rt: wall-clock ns/post)", prof.Name),
+		"threads", "sim post", "sim batch", "rt sharded", "rt shared")
+	for i, s := range simRows {
+		t.Add(fmt.Sprintf("%d", s.Threads),
+			fmt.Sprintf("%.0f", s.PostNs),
+			fmt.Sprintf("%.2f", s.MeanBatch),
+			fmt.Sprintf("%.0f", rtRows[i].ShardedNsPerPost),
+			fmt.Sprintf("%.0f", rtRows[i].SharedNsPerPost))
+	}
+	t.Print(os.Stdout)
+	fmt.Printf("wrote %s\n", out)
 }

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mpioffload/bench"
+	"mpioffload/internal/model"
+	"mpioffload/sim"
+)
+
+// TestMTScaleReportSchema runs a tiny sweep end to end and checks the
+// emitted document against the validator — the same check `-validate`
+// applies and `make bench-smoke` runs in CI.
+func TestMTScaleReportSchema(t *testing.T) {
+	p := model.Endeavor()
+	simRows := bench.MTPostScaling(sim.Config{Approach: sim.Offload, Profile: p}, []int{1, 2}, 3)
+	rtRows := rtPostScaling([]int{1, 2}, 64)
+	rep := &MTScaleReport{Schema: mtScaleSchema, Profile: p.Name, Sim: simRows, RT: rtRows}
+	if err := validateMTScale(rep); err != nil {
+		t.Fatalf("generated report invalid: %v", err)
+	}
+
+	// The sim post cost must be flat at EnqueueCost regardless of thread
+	// count — that is the sharded queue's whole claim in virtual time.
+	for _, r := range simRows {
+		if r.PostNs != p.EnqueueCost {
+			t.Errorf("sim post at %d threads = %v ns, want flat %v", r.Threads, r.PostNs, p.EnqueueCost)
+		}
+	}
+
+	// Round-trip through the file-based validator used by -validate.
+	path := filepath.Join(t.TempDir(), "mtscale.json")
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := validateMTScaleFile(path); err != nil {
+		t.Fatalf("file validation: %v", err)
+	}
+}
+
+// TestMTScaleValidatorRejects: the validator must catch structural damage.
+func TestMTScaleValidatorRejects(t *testing.T) {
+	good := func() *MTScaleReport {
+		return &MTScaleReport{
+			Schema:  mtScaleSchema,
+			Profile: "endeavor-xeon",
+			Sim:     []bench.MTScaleResult{{Threads: 1, PostNs: 140, MeanBatch: 1}},
+			RT:      []RTScaleRow{{Threads: 1, ShardedNsPerPost: 100, SharedNsPerPost: 110}},
+		}
+	}
+	cases := map[string]func(*MTScaleReport){
+		"wrong schema":    func(r *MTScaleReport) { r.Schema = "mtscale/v0" },
+		"missing profile": func(r *MTScaleReport) { r.Profile = "" },
+		"empty sim":       func(r *MTScaleReport) { r.Sim = nil },
+		"empty rt":        func(r *MTScaleReport) { r.RT = nil },
+		"zero post":       func(r *MTScaleReport) { r.Sim[0].PostNs = 0 },
+		"zero batch":      func(r *MTScaleReport) { r.Sim[0].MeanBatch = 0 },
+		"negative rt":     func(r *MTScaleReport) { r.RT[0].ShardedNsPerPost = -1 },
+		"descending threads": func(r *MTScaleReport) {
+			r.Sim = append(r.Sim, bench.MTScaleResult{Threads: 1, PostNs: 140, MeanBatch: 1})
+			r.Sim[0].Threads = 2
+		},
+	}
+	if err := validateMTScale(good()); err != nil {
+		t.Fatalf("baseline report should validate: %v", err)
+	}
+	for name, corrupt := range cases {
+		r := good()
+		corrupt(r)
+		if err := validateMTScale(r); err == nil {
+			t.Errorf("%s: validator accepted a corrupt report", name)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"mpioffload/bench"
+	"mpioffload/rt"
+)
+
+// mtScaleSchema versions BENCH_mtscale.json; bump on incompatible change.
+const mtScaleSchema = "mtscale/v1"
+
+// RTScaleRow is one thread count of the wall-clock sweep: mean ns an
+// application goroutine spends inside Isend, posting through a private
+// shard (RegisterThread) versus through the shared MPMC overflow (plain
+// Rank calls — the pre-sharding command queue).
+type RTScaleRow struct {
+	Threads          int     `json:"threads"`
+	ShardedNsPerPost float64 `json:"sharded_ns_per_post"`
+	SharedNsPerPost  float64 `json:"shared_ns_per_post"`
+}
+
+// MTScaleReport is the BENCH_mtscale.json document.
+type MTScaleReport struct {
+	Schema  string                `json:"schema"`
+	Profile string                `json:"profile"`
+	Sim     []bench.MTScaleResult `json:"sim"`
+	RT      []RTScaleRow          `json:"rt"`
+}
+
+// validateMTScale checks a report's structure: schema tag, non-empty
+// sweeps, strictly ascending thread counts, positive measurements. It is
+// deliberately machine-independent — no performance assertions.
+func validateMTScale(rep *MTScaleReport) error {
+	if rep.Schema != mtScaleSchema {
+		return fmt.Errorf("schema %q, want %q", rep.Schema, mtScaleSchema)
+	}
+	if rep.Profile == "" {
+		return fmt.Errorf("missing profile")
+	}
+	if len(rep.Sim) == 0 || len(rep.RT) == 0 {
+		return fmt.Errorf("empty sweep: %d sim rows, %d rt rows", len(rep.Sim), len(rep.RT))
+	}
+	if !sort.SliceIsSorted(rep.Sim, func(i, j int) bool { return rep.Sim[i].Threads < rep.Sim[j].Threads }) {
+		return fmt.Errorf("sim thread counts not ascending")
+	}
+	if !sort.SliceIsSorted(rep.RT, func(i, j int) bool { return rep.RT[i].Threads < rep.RT[j].Threads }) {
+		return fmt.Errorf("rt thread counts not ascending")
+	}
+	for _, r := range rep.Sim {
+		if r.Threads < 1 || r.PostNs <= 0 || r.MeanBatch < 1 {
+			return fmt.Errorf("bad sim row %+v", r)
+		}
+	}
+	for _, r := range rep.RT {
+		if r.Threads < 1 || r.ShardedNsPerPost <= 0 || r.SharedNsPerPost <= 0 {
+			return fmt.Errorf("bad rt row %+v", r)
+		}
+	}
+	return nil
+}
+
+// validateMTScaleFile loads and validates a BENCH_mtscale.json document.
+func validateMTScaleFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep MTScaleReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return validateMTScale(&rep)
+}
+
+// rtPostScaling is the wall-clock half of the sweep: `threads` goroutines
+// on rank 0 each post `iters` 64-byte Isends to per-thread tags on rank 1
+// (one receiver goroutine per tag), and the time inside the Isend call is
+// sampled per post. Waits happen off-timer in batches so slot recycling
+// never gates the path being measured.
+//
+// The reported figure is the MEDIAN per-post time across all samples of
+// the configuration (minimum over rtReps repetitions), where one sample
+// times a burst of rtBurst posts. Preemption is why the median: a
+// goroutine descheduled inside the timed window charges a whole scheduling
+// quantum of unrelated work to that sample, and on a small host those
+// spikes dominate any mean. They are rare, so the median reflects the
+// actual submission instruction path — which is what sharding changes.
+// The burst amortizes the clock-read overhead so the ~10–25 ns gap between
+// an SPSC post and an MPMC post is not buried under the timer (see the
+// BenchmarkSharded*EnqDeq pair in internal/queue for the raw path costs).
+const (
+	rtReps  = 7
+	rtBurst = 8
+)
+
+func rtPostScaling(threadCounts []int, iters int) []RTScaleRow {
+	out := make([]RTScaleRow, 0, len(threadCounts))
+	for _, threads := range threadCounts {
+		row := RTScaleRow{Threads: threads}
+		for rep := 0; rep < rtReps; rep++ {
+			shared := rtMeasurePost(threads, iters, false)
+			sharded := rtMeasurePost(threads, iters, true)
+			if rep == 0 || shared < row.SharedNsPerPost {
+				row.SharedNsPerPost = shared
+			}
+			if rep == 0 || sharded < row.ShardedNsPerPost {
+				row.ShardedNsPerPost = sharded
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+func rtMeasurePost(threads, iters int, sharded bool) float64 {
+	c := rt.NewClusterOpts(2, rt.Offload, rt.Options{ShardCount: threads})
+	defer c.Close()
+	iters = iters / rtBurst * rtBurst // whole bursts only; receivers must agree
+	if iters == 0 {
+		iters = rtBurst
+	}
+	perThread := make([][]int64, threads)
+	var wg sync.WaitGroup
+	for th := 0; th < threads; th++ {
+		th := th
+		wg.Add(2)
+		go func() { // receiver: drains this thread's tag on rank 1
+			defer wg.Done()
+			var recv func(buf []byte, src, tag int) int
+			if sharded {
+				recv = c.Rank(1).RegisterThread().Recv
+			} else {
+				recv = c.Rank(1).Recv
+			}
+			buf := make([]byte, 64)
+			for i := 0; i < iters; i++ {
+				recv(buf, 0, th)
+			}
+		}()
+		go func() { // sender: the measured side
+			defer wg.Done()
+			r := c.Rank(0)
+			post := r.Isend
+			if sharded {
+				post = r.RegisterThread().Isend
+			}
+			payload := make([]byte, 64)
+			samples := make([]int64, 0, iters/rtBurst+1)
+			hs := make([]rt.Handle, 0, rtBurst)
+			flush := func() {
+				for _, h := range hs {
+					r.Wait(h)
+				}
+				hs = hs[:0]
+			}
+			for i := 0; i+rtBurst <= iters; i += rtBurst {
+				t0 := time.Now()
+				for j := 0; j < rtBurst; j++ {
+					hs = append(hs, post(payload, 1, th))
+				}
+				samples = append(samples, time.Since(t0).Nanoseconds()/rtBurst)
+				flush() // waits stay outside the timed window
+			}
+			perThread[th] = samples
+		}()
+	}
+	wg.Wait()
+	var all []int64
+	for _, s := range perThread {
+		all = append(all, s...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return float64(all[len(all)/2])
+}

@@ -4,9 +4,12 @@
 // A dedicated offload thread per rank is the only thread that ever enters
 // the (simulated) MPI library. Application threads — any number of them,
 // concurrently — serialize their MPI calls into commands and insert them
-// into a lock-free MPMC command queue (internal/queue); the request handle
-// returned to the application is an index into a lock-free request pool
-// (internal/reqpool) whose done flags signal completion.
+// into a sharded lock-free command queue (internal/queue.Sharded): each
+// registered thread owns a private SPSC shard, unregistered threads share
+// an MPMC overflow shard, and the offload thread drains all shards
+// round-robin in batches. The request handle returned to the application
+// is an index into a lock-free request pool (internal/reqpool) whose done
+// flags signal completion.
 //
 // The offload thread:
 //
@@ -29,6 +32,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"mpioffload/internal/model"
 	"mpioffload/internal/obs"
@@ -62,55 +66,93 @@ type Offloader struct {
 	Eng *proto.Engine
 	P   *model.Profile
 
-	cq       *queue.MPMC[*Cmd]
+	cq       *queue.Sharded[*Cmd]
 	pool     *reqpool.Pool
+	batchMax int
 	inflight []inflightEntry
 	slotEv   map[int]*vclock.Event // parked waiters by slot
+	shardOf  map[string]int        // submitting thread name → command shard
 
-	// stats
-	Submitted  int64
-	Issued     int64
-	Completed  int64
-	Failed     int64 // completions carrying a watchdog error
-	IdleWaits  int64
-	QueueFullN int64
+	// Stats are atomic: they are incremented from application-thread
+	// (Submit) and offload-thread (run) contexts, which the cooperative
+	// simulation serializes but real goroutines — the -race probes, and any
+	// future wall-clock driver — do not.
+	Submitted  atomic.Int64
+	Issued     atomic.Int64
+	Completed  atomic.Int64
+	Failed     atomic.Int64 // completions carrying a watchdog error
+	IdleWaits  atomic.Int64
+	QueueFullN atomic.Int64
 }
 
 // New creates the offloader for eng's rank and spawns its offload thread as
 // a daemon task (it lives for the lifetime of the simulation, §3.4: the
 // thread is spawned at MPI_Init).
 func New(k *vclock.Kernel, eng *proto.Engine) *Offloader {
+	p := eng.P
+	shards := p.ShardCount
+	if shards <= 0 {
+		shards = 16
+	}
+	batch := p.CmdBatchMax
+	if batch <= 0 {
+		batch = 16
+	}
 	o := &Offloader{
-		Eng:    eng,
-		P:      eng.P,
-		cq:     queue.NewMPMC[*Cmd](eng.P.CommandQueueCap),
-		pool:   reqpool.New(eng.P.RequestPoolSize),
-		slotEv: make(map[int]*vclock.Event),
+		Eng:      eng,
+		P:        p,
+		cq:       queue.NewSharded[*Cmd](shards, p.CommandQueueCap, p.CommandQueueCap),
+		pool:     reqpool.New(p.RequestPoolSize),
+		batchMax: batch,
+		slotEv:   make(map[int]*vclock.Event),
+		shardOf:  make(map[string]int),
 	}
 	k.GoDaemon(fmt.Sprintf("offload.%d", eng.Rank), o.run)
 	return o
 }
 
+// shardFor returns the command-queue shard of the submitting thread,
+// registering it on first submission. Shards are keyed by task name:
+// fork-join thread teams reuse names across waves (rankN.thrM), so a
+// bounded thread population keeps its private shards across Parallel
+// regions instead of leaking one shard per wave. Threads beyond ShardCount
+// share the overflow shard. Only cooperative (kernel-scheduled) contexts
+// call this, so the map needs no lock.
+func (o *Offloader) shardFor(t *vclock.Task) int {
+	if s, ok := o.shardOf[t.Name]; ok {
+		return s
+	}
+	s := o.cq.Register()
+	o.shardOf[t.Name] = s
+	return s
+}
+
 // run is the offload thread's main loop.
 func (o *Offloader) run(t *vclock.Task) {
+	batch := make([]*Cmd, o.batchMax)
 	for {
 		seq := o.Eng.Seq()
 		rec := o.Eng.Obs
 
-		// 1. Service the command queue first (application calls waiting).
-		if cmd, ok := o.cq.TryDequeue(); ok {
+		// 1. Service the command queue first (application calls waiting):
+		//    drain up to batchMax commands in one wakeup — round-robin
+		//    across the submission shards — before the next Testany round.
+		if n := o.cq.DequeueBatch(batch); n > 0 {
 			t0 := t.Now()
-			rec.CmdDequeued(t0, cmd.id, o.cq.Len())
-			t.SleepF(o.P.DequeueCost)
-			req := cmd.Issue(t)
-			o.Issued++
-			if req == nil || req.Done() {
-				o.noteFailed(req)
-				o.complete(cmd.Slot, cmd.id)
-			} else {
-				o.inflight = append(o.inflight, inflightEntry{cmd.Slot, cmd.id, req})
+			for i, cmd := range batch[:n] {
+				batch[i] = nil // release the reference once issued
+				rec.CmdDequeued(t.Now(), cmd.id, o.cq.Len()+n-1-i)
+				t.SleepF(o.P.DequeueCost)
+				req := cmd.Issue(t)
+				o.Issued.Add(1)
+				if req == nil || req.Done() {
+					o.noteFailed(req)
+					o.complete(cmd.Slot, cmd.id)
+				} else {
+					o.inflight = append(o.inflight, inflightEntry{cmd.Slot, cmd.id, req})
+				}
 			}
-			rec.DutyIssue(t.Now() - t0)
+			rec.DutyIssueBatch(t.Now()-t0, n)
 			continue
 		}
 
@@ -145,7 +187,7 @@ func (o *Offloader) run(t *vclock.Task) {
 		//    here — the dedicated core is modelled by the thread-count
 		//    accounting in the sim layer, not by burning virtual events.
 		if o.Eng.Seq() == seq && o.cq.Empty() {
-			o.IdleWaits++
+			o.IdleWaits.Add(1)
 			t0 := t.Now()
 			o.Eng.AwaitChange(t, seq)
 			rec.DutyIdle(t.Now() - t0)
@@ -161,13 +203,13 @@ func (o *Offloader) run(t *vclock.Task) {
 // lets the application observe Status.Err.
 func (o *Offloader) noteFailed(req proto.Req) {
 	if op, ok := req.(*proto.Op); ok && op.Err != nil {
-		o.Failed++
+		o.Failed.Add(1)
 	}
 }
 
 func (o *Offloader) complete(slot int, id int64) {
 	o.pool.SetDone(slot)
-	o.Completed++
+	o.Completed.Add(1)
 	o.Eng.Obs.CmdCompleted(o.Eng.K.Now(), id)
 	if ev := o.slotEv[slot]; ev != nil {
 		ev.Broadcast(o.Eng.K)
@@ -188,10 +230,10 @@ func (o *Offloader) Submit(t *vclock.Task, issue func(t *vclock.Task) proto.Req)
 		o.Eng.AwaitChange(t, seq)
 		slot = o.pool.Get()
 	}
-	o.Submitted++
-	cmd := &Cmd{Slot: slot, Issue: issue, id: o.Submitted}
-	for !o.cq.TryEnqueue(cmd) {
-		o.QueueFullN++
+	cmd := &Cmd{Slot: slot, Issue: issue, id: o.Submitted.Add(1)}
+	shard := o.shardFor(t)
+	for !o.cq.TryEnqueue(shard, cmd) {
+		o.QueueFullN.Add(1)
 		seq := o.Eng.Seq()
 		o.Eng.AwaitChange(t, seq)
 	}
@@ -254,11 +296,18 @@ func (o *Offloader) WaitAll(t *vclock.Task, hs ...Handle) {
 // InFlight reports the number of requests the offload thread is tracking.
 func (o *Offloader) InFlight() int { return len(o.inflight) }
 
-// QueueLen reports the command-queue depth.
+// QueueLen reports the command-queue depth (summed across shards).
 func (o *Offloader) QueueLen() int { return o.cq.Len() }
 
 // QueueHighWater reports the command queue's depth high-water mark.
 func (o *Offloader) QueueHighWater() int { return o.cq.HighWater() }
+
+// Shards reports the number of private command-queue shards.
+func (o *Offloader) Shards() int { return o.cq.Shards() }
+
+// RegisteredThreads reports how many submitting threads hold a private
+// command-queue shard.
+func (o *Offloader) RegisteredThreads() int { return o.cq.Registered() }
 
 // PoolInUse reports the number of request-pool slots currently allocated.
 func (o *Offloader) PoolInUse() int { return o.pool.InUse() }

@@ -18,11 +18,11 @@ func TestOffloadThreadIdlesWhenQuiet(t *testing.T) {
 	r.k.Go("app1", func(tk *vclock.Task) { tk.Sleep(50_000_000) })
 	r.k.Run()
 	for i, o := range r.offs {
-		if o.Issued != 0 {
-			t.Errorf("offloader %d issued %d commands from nothing", i, o.Issued)
+		if o.Issued.Load() != 0 {
+			t.Errorf("offloader %d issued %d commands from nothing", i, o.Issued.Load())
 		}
-		if o.IdleWaits > 4 {
-			t.Errorf("offloader %d parked %d times; should park once and stay", i, o.IdleWaits)
+		if o.IdleWaits.Load() > 4 {
+			t.Errorf("offloader %d parked %d times; should park once and stay", i, o.IdleWaits.Load())
 		}
 	}
 }
@@ -54,8 +54,8 @@ func TestCommandQueueBackpressure(t *testing.T) {
 		}
 	})
 	r.k.Run()
-	if r.offs[0].Completed != n {
-		t.Fatalf("completed %d, want %d", r.offs[0].Completed, n)
+	if r.offs[0].Completed.Load() != n {
+		t.Fatalf("completed %d, want %d", r.offs[0].Completed.Load(), n)
 	}
 }
 
@@ -81,9 +81,9 @@ func TestStatsAccounting(t *testing.T) {
 	})
 	r.k.Run()
 	for i, o := range r.offs {
-		if o.Submitted != n || o.Issued != n || o.Completed != n {
+		if o.Submitted.Load() != n || o.Issued.Load() != n || o.Completed.Load() != n {
 			t.Errorf("offloader %d stats: submitted=%d issued=%d completed=%d, want %d each",
-				i, o.Submitted, o.Issued, o.Completed, n)
+				i, o.Submitted.Load(), o.Issued.Load(), o.Completed.Load(), n)
 		}
 		if o.InFlight() != 0 || o.QueueLen() != 0 {
 			t.Errorf("offloader %d left state: inflight=%d queue=%d", i, o.InFlight(), o.QueueLen())

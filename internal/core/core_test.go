@@ -204,8 +204,8 @@ func TestManyOperationsRecyclePool(t *testing.T) {
 		}
 	})
 	r.k.Run()
-	if r.offs[0].Completed != iters {
-		t.Fatalf("completed %d, want %d", r.offs[0].Completed, iters)
+	if r.offs[0].Completed.Load() != iters {
+		t.Fatalf("completed %d, want %d", r.offs[0].Completed.Load(), iters)
 	}
 }
 

@@ -60,8 +60,8 @@ func TestWatchdogWakesOffloadWait(t *testing.T) {
 	if doneAt < 100_000 || doneAt > 300_000 {
 		t.Fatalf("wait returned at %d ns, want shortly after the 100 µs deadline", doneAt)
 	}
-	if r.offs[1].Failed != 1 {
-		t.Fatalf("offloader Failed = %d, want 1", r.offs[1].Failed)
+	if r.offs[1].Failed.Load() != 1 {
+		t.Fatalf("offloader Failed = %d, want 1", r.offs[1].Failed.Load())
 	}
 	if r.engs[1].Stats().WatchdogTrips != 1 {
 		t.Fatalf("engine stats %+v, want 1 watchdog trip", r.engs[1].Stats())

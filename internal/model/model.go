@@ -74,10 +74,21 @@ type Profile struct {
 	// PollGap is the offload thread's idle re-poll interval when both the
 	// command queue is empty and no requests are in flight.
 	PollGap float64
-	// CommandQueueCap is the capacity of the offload command queue.
+	// CommandQueueCap is the capacity of each offload command-queue shard
+	// (every registered thread's private SPSC ring, and the shared MPMC
+	// overflow shard, each hold this many commands).
 	CommandQueueCap int
 	// RequestPoolSize is the size of the preallocated MPI_Request pool.
 	RequestPoolSize int
+	// ShardCount is the number of private command-queue shards — one per
+	// registered application thread; threads beyond it share the overflow
+	// shard. 0 selects the default (16).
+	ShardCount int
+	// CmdBatchMax bounds how many commands the offload thread drains per
+	// wakeup before it runs a Testany progress round — the batching that
+	// amortizes the dequeue/progress alternation under bursty submission.
+	// 0 selects the default (16).
+	CmdBatchMax int
 
 	// ---- comm-self progress thread model (paper §2.2) ----
 
@@ -164,6 +175,8 @@ func Endeavor() *Profile {
 		PollGap:           60,
 		CommandQueueCap:   4096,
 		RequestPoolSize:   8192,
+		ShardCount:        16,
+		CmdBatchMax:       16,
 		CommSelfHold:      2000,
 		CommSelfGap:       80,
 		CommSelfWindow:    8_000,

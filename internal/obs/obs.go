@@ -131,6 +131,11 @@ type RankMetrics struct {
 	// Offload-thread duty cycle, split into issuing commands, driving
 	// MPI_Testany-style progress, and idling (virtual ns).
 	IssueNs, ProgressNs, IdleNs int64
+	// Batched draining: DrainBatches counts offload-thread wakeups that
+	// issued at least one command; BatchedCmds sums the commands those
+	// wakeups drained, so BatchedCmds/DrainBatches is the mean drain batch
+	// size.
+	DrainBatches, BatchedCmds int64
 	// TestanyPolls counts offload-thread progress rounds taken with
 	// requests in flight; with CmdDone it yields polls-per-completion.
 	TestanyPolls int64
@@ -155,6 +160,8 @@ func (m *RankMetrics) Add(o RankMetrics) {
 	m.IssueNs += o.IssueNs
 	m.ProgressNs += o.ProgressNs
 	m.IdleNs += o.IdleNs
+	m.DrainBatches += o.DrainBatches
+	m.BatchedCmds += o.BatchedCmds
 	m.TestanyPolls += o.TestanyPolls
 	for i := range m.IssuesByTID {
 		m.IssuesByTID[i] += o.IssuesByTID[i]
@@ -332,11 +339,18 @@ func (r *Recorder) CmdCompleted(ts int64, id int64) {
 }
 
 // DutyIssue charges ns of offload-thread time to command issue.
-func (r *Recorder) DutyIssue(ns int64) {
+func (r *Recorder) DutyIssue(ns int64) { r.DutyIssueBatch(ns, 1) }
+
+// DutyIssueBatch charges ns of offload-thread time to issuing one drain
+// batch of cmds commands (batch-aware duty accounting: the mean batch size
+// is BatchedCmds/DrainBatches).
+func (r *Recorder) DutyIssueBatch(ns int64, cmds int) {
 	if !r.Enabled() {
 		return
 	}
 	r.M.IssueNs += ns
+	r.M.DrainBatches++
+	r.M.BatchedCmds += int64(cmds)
 }
 
 // DutyProgress charges ns of offload-thread time to Testany progress.

@@ -74,6 +74,81 @@ func FuzzMPMCInterleaving(f *testing.F) {
 	})
 }
 
+// FuzzShardedInterleaving model-checks the sharded command queue against
+// per-producer reference FIFOs under fuzz-chosen interleavings. Producers
+// beyond the shard count land in the overflow shard, so the model covers
+// both the private-SPSC and the shared-MPMC paths; the invariants are what
+// MPI requires of the submission path — no command lost, none duplicated,
+// each producer's order preserved.
+func FuzzShardedInterleaving(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 0, 1, 2, 3, 4}, uint8(3), uint8(2), uint8(3))
+	f.Add([]byte{0, 0, 0, 0, 5, 5, 5, 5}, uint8(1), uint8(1), uint8(1))
+	f.Add([]byte{6, 5, 4, 3, 2, 1, 0, 6, 5, 4, 3, 2, 1, 0}, uint8(4), uint8(2), uint8(2))
+	f.Fuzz(func(t *testing.T, script []byte, np, ns, capLog uint8) {
+		producers := int(np%6) + 1
+		shardCount := int(ns%4) + 1
+		capacity := 1 << (capLog%5 + 1)
+		q := NewSharded[int](shardCount, capacity, capacity)
+
+		shard := make([]int, producers)
+		for p := range shard {
+			shard[p] = q.Register() // beyond shardCount: Overflow
+		}
+		golden := make([][]int, producers) // per-producer reference FIFOs
+		next := make([]int, producers)
+		pos := make([]int, producers) // next expected index into golden[p]
+		pending := 0
+		for _, b := range script {
+			actor := int(b) % (producers + 1)
+			if actor < producers {
+				v := actor<<20 | next[actor]
+				if q.TryEnqueue(shard[actor], v) {
+					golden[actor] = append(golden[actor], v)
+					next[actor]++
+					pending++
+				}
+				continue
+			}
+			v, ok := q.TryDequeue()
+			if !ok {
+				if pending != 0 {
+					t.Fatalf("dequeue empty with %d elements pending", pending)
+				}
+				continue
+			}
+			p := v >> 20
+			if pos[p] >= len(golden[p]) {
+				t.Fatalf("producer %d over-delivered (duplicate?)", p)
+			}
+			if want := golden[p][pos[p]]; v != want {
+				t.Fatalf("producer %d: got %#x, want %#x (FIFO violated)", p, v, want)
+			}
+			pos[p]++
+			pending--
+		}
+		// Drain: everything enqueued must come out exactly once, in
+		// per-producer order.
+		for pending > 0 {
+			v, ok := q.TryDequeue()
+			if !ok {
+				t.Fatalf("queue empty with %d elements lost", pending)
+			}
+			p := v >> 20
+			if pos[p] >= len(golden[p]) || golden[p][pos[p]] != v {
+				t.Fatalf("drain: producer %d got %#x out of order", p, v)
+			}
+			pos[p]++
+			pending--
+		}
+		if _, ok := q.TryDequeue(); ok {
+			t.Fatal("queue produced a value beyond everything enqueued")
+		}
+		if q.Len() != 0 || !q.Empty() {
+			t.Fatalf("drained queue reports Len=%d", q.Len())
+		}
+	})
+}
+
 // FuzzMPMCConcurrent hammers the queue with real goroutines (sized by the
 // fuzz input) and verifies no value is lost or duplicated and that each
 // producer's values are consumed in that producer's send order (MPI's

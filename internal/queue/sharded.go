@@ -1,0 +1,180 @@
+package queue
+
+import (
+	"sync/atomic"
+)
+
+// Overflow is the shard id used by unregistered producers: their commands
+// travel through the shared MPMC overflow shard instead of a private ring.
+const Overflow = -1
+
+// Sharded is the sharded command queue of the offload path (paper §3.3).
+//
+// The single shared MPMC ring becomes the contention point once many
+// MPI_THREAD_MULTIPLE application threads post concurrently: every enqueue
+// is a CAS on the same cache line. Sharded splits submission instead: each
+// registered application thread owns a private SPSC ring (enqueue is two
+// plain stores — no CAS, no shared line), and producers that never
+// registered (short-lived threads, more threads than shards) fall back to
+// one shared MPMC overflow shard. The single consumer — the offload
+// thread — drains all shards.
+//
+// Ordering: per-producer FIFO is preserved (each producer's commands live
+// in one ring, drained in ring order), which is all MPI's non-overtaking
+// rule requires. No total order across producers is promised — the shared
+// MPMC never promised a meaningful one under contention either.
+//
+// Fairness: the consumer scans shards round-robin from a rotating cursor,
+// taking at most one element per shard per rotation, so a hot shard cannot
+// starve the others (or the overflow shard, which occupies the last
+// rotation position). A "doorbell" — an atomic count of pending elements,
+// rung by every enqueue — lets the consumer skip the scan entirely when
+// the queue is empty.
+//
+// Concurrency contract: Register and TryEnqueue may be called from any
+// number of goroutines (a registered shard id must be used by its owning
+// producer only); TryDequeue and DequeueBatch must be called from a single
+// consumer.
+type Sharded[T any] struct {
+	shards   []*SPSC[T]
+	overflow *MPMC[T]
+	_        pad
+	nextReg  atomic.Int64 // registration cursor
+	_        pad
+	pending  atomic.Int64 // doorbell: elements enqueued and not yet dequeued
+	_        pad
+	hwm      atomic.Int64 // pending high-water mark, sampled by the consumer
+	cursor   int          // consumer round-robin position (consumer-owned)
+}
+
+// NewSharded returns a queue with shardCount private SPSC shards of
+// shardCap elements each plus an MPMC overflow shard of overflowCap
+// (capacities round up to powers of two, minimum 2; shardCount minimum 1).
+func NewSharded[T any](shardCount, shardCap, overflowCap int) *Sharded[T] {
+	if shardCount < 1 {
+		shardCount = 1
+	}
+	q := &Sharded[T]{
+		shards:   make([]*SPSC[T], shardCount),
+		overflow: NewMPMC[T](overflowCap),
+	}
+	for i := range q.shards {
+		q.shards[i] = NewSPSC[T](shardCap)
+	}
+	return q
+}
+
+// Register claims a private shard for the calling producer, returning its
+// shard id, or Overflow when every shard is already owned. Register before
+// the first enqueue: a producer that mixes overflow and shard submissions
+// loses its FIFO guarantee across the switch.
+func (q *Sharded[T]) Register() int {
+	id := q.nextReg.Add(1) - 1
+	if id >= int64(len(q.shards)) {
+		return Overflow
+	}
+	return int(id)
+}
+
+// Shards reports the number of private shards.
+func (q *Sharded[T]) Shards() int { return len(q.shards) }
+
+// Registered reports how many shard ids have been claimed (capped at the
+// shard count).
+func (q *Sharded[T]) Registered() int {
+	n := q.nextReg.Load()
+	if n > int64(len(q.shards)) {
+		n = int64(len(q.shards))
+	}
+	return int(n)
+}
+
+// TryEnqueue appends v to the producer's shard (or the overflow shard for
+// Overflow / out-of-range ids), reporting false when that shard is full.
+// A registered producer whose shard is full must retry — falling back to
+// the overflow shard would break its FIFO order.
+func (q *Sharded[T]) TryEnqueue(shard int, v T) bool {
+	var ok bool
+	if shard >= 0 && shard < len(q.shards) {
+		ok = q.shards[shard].TryEnqueue(v)
+	} else {
+		ok = q.overflow.TryEnqueue(v)
+	}
+	if ok {
+		q.pending.Add(1) // ring the doorbell
+	}
+	return ok
+}
+
+// TryDequeue removes one element, scanning shards round-robin from the
+// cursor, reporting false when every shard is empty. Single consumer only.
+func (q *Sharded[T]) TryDequeue() (T, bool) {
+	var buf [1]T
+	if q.DequeueBatch(buf[:]) == 1 {
+		return buf[0], true
+	}
+	var zero T
+	return zero, false
+}
+
+// DequeueBatch fills dst with up to len(dst) elements and returns how many
+// it took. The scan is round-robin — one element per shard per rotation,
+// the overflow shard last in the rotation — so a hot shard cannot starve
+// the rest within a batch. Single consumer only.
+func (q *Sharded[T]) DequeueBatch(dst []T) int {
+	p := q.pending.Load()
+	if len(dst) == 0 || p == 0 {
+		return 0
+	}
+	// Consumer-side high-water sampling: only this goroutine writes hwm, so
+	// a plain load/store pair suffices — producers pay nothing for it.
+	if p > q.hwm.Load() {
+		q.hwm.Store(p)
+	}
+	// The doorbell bounds the scan: once `want` elements are in hand there
+	// is no point finishing the rotation just to observe empty shards (new
+	// arrivals are picked up next wakeup).
+	want := int(p)
+	if want > len(dst) {
+		want = len(dst)
+	}
+	rot := len(q.shards) + 1 // +1: the overflow shard's rotation position
+	n, misses := 0, 0
+	for n < want && misses < rot {
+		i := q.cursor % rot
+		q.cursor++
+		var v T
+		var ok bool
+		if i < len(q.shards) {
+			v, ok = q.shards[i].TryDequeue()
+		} else {
+			v, ok = q.overflow.TryDequeue()
+		}
+		if !ok {
+			misses++
+			continue
+		}
+		misses = 0
+		dst[n] = v
+		n++
+		q.pending.Add(-1)
+	}
+	return n
+}
+
+// Len reports the pending element count across all shards (racy under
+// concurrent producers; exact when quiescent).
+func (q *Sharded[T]) Len() int {
+	n := q.pending.Load()
+	if n < 0 {
+		n = 0
+	}
+	return int(n)
+}
+
+// Empty reports whether the queue appears empty — one atomic load, no scan.
+func (q *Sharded[T]) Empty() bool { return q.Len() == 0 }
+
+// HighWater reports the deepest the queue has been observed (total pending
+// across shards, sampled at each consumer drain) since creation.
+func (q *Sharded[T]) HighWater() int { return int(q.hwm.Load()) }

@@ -76,11 +76,11 @@ type commState struct {
 	off    *core.Offloader // non-nil => offload routing
 	locked bool            // true => THREAD_MULTIPLE global locking
 	id     int
-	ranks  []int // group: global rank of each group rank
-	me     int   // my group rank
-	nodes  int   // distinct nodes spanned by the group
-	colls  int   // collective sequence number (tag space)
-	dups   int   // communicator-derivation counter
+	ranks  []int       // group: global rank of each group rank
+	me     int         // my group rank
+	nodes  int         // distinct nodes spanned by the group
+	colls  int         // collective sequence number (tag space)
+	dups   int         // communicator-derivation counter
 	errh   func(error) // communicator error handler (nil = errors-return)
 }
 

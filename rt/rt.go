@@ -7,10 +7,19 @@
 //     rank's global mutex to touch the matching engine — application
 //     threads contend exactly the way §2.2/Fig 6 describe.
 //   - Offload mode is §3: application threads serialize calls into the
-//     lock-free command queue (internal/queue) and receive request-pool
-//     handles (internal/reqpool); a dedicated offload goroutine is the
-//     only thread that touches the matching engine, so no mutex exists
-//     at all, and it drives progress whenever idle.
+//     sharded lock-free command queue (internal/queue.Sharded) and receive
+//     request-pool handles (internal/reqpool); a dedicated offload
+//     goroutine is the only thread that touches the matching engine, so no
+//     mutex exists at all, and it drives progress whenever idle.
+//
+// Submission is sharded (§3.3 under contention): a goroutine that calls
+// Rank.RegisterThread gets a Thread handle backed by a private SPSC ring —
+// posting is two plain stores, with no CAS on a shared cache line no
+// matter how many threads post concurrently. Calls made directly on the
+// Rank go through the shared MPMC overflow shard (the pre-sharding
+// behaviour, kept as the measurable baseline). The offload goroutine
+// drains all shards round-robin in batches of up to the cluster's
+// CmdBatchMax before each progress round.
 //
 // The transport is an in-process "NIC": each rank's inbox is a lock-free
 // MPMC queue that senders enqueue into directly. Payloads are copied on
@@ -25,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -36,6 +46,17 @@ import (
 // watchdog deadline (wall-clock here; the simulator's counterpart is
 // mpi.ErrTimeout in virtual time).
 var ErrTimeout = errors.New("rt: request deadline exceeded")
+
+// ErrTruncate is returned by WaitErr when a message longer than the posted
+// receive buffer arrived. The buffer contents are undefined (the payload is
+// dropped, mirroring MPI_ERR_TRUNCATE); Wait and Test report it as a
+// negative byte count.
+var ErrTruncate = errors.New("rt: message truncated (receive buffer too small)")
+
+// truncSentinel is the per-slot byte-count sentinel for a truncated
+// receive: Wait/Test surface it as a negative count, WaitErr decodes it to
+// ErrTruncate.
+const truncSentinel = -1
 
 // Mode selects how application threads interact with the rank's engine.
 type Mode int
@@ -77,7 +98,7 @@ type Rank struct {
 
 	inbox *queue.MPMC[message]
 	pool  *reqpool.Pool
-	count []int32 // per-slot received byte counts
+	count []int32 // per-slot received byte counts (truncSentinel = error)
 
 	// Matching state: owned by the offload goroutine in Offload mode,
 	// guarded by mu in Direct mode.
@@ -85,7 +106,7 @@ type Rank struct {
 	posted     map[matchKey][]pending
 	unexpected map[matchKey][]message
 
-	cq   *queue.MPMC[cmd]
+	cq   *queue.Sharded[cmd]
 	stop atomic.Bool
 
 	// Stats counts operations for tests and diagnostics.
@@ -109,21 +130,48 @@ type cmd struct {
 	buf  []byte
 }
 
+// Options tunes a cluster's offload submission path. The zero value
+// selects the defaults.
+type Options struct {
+	// ShardCount is the number of private SPSC command shards per rank —
+	// one per thread that calls RegisterThread; later registrants share
+	// the overflow shard (default 16).
+	ShardCount int
+	// CmdBatchMax bounds how many commands the offload goroutine drains
+	// per wakeup before a progress round (default 16).
+	CmdBatchMax int
+}
+
 // Cluster is a set of in-process real-time ranks.
 type Cluster struct {
-	ranks []*Rank
-	mode  Mode
-	wdNs  atomic.Int64 // WaitErr deadline (wall-clock ns); 0 = no deadline
+	ranks    []*Rank
+	mode     Mode
+	batchMax int
+	wdNs     atomic.Int64 // WaitErr deadline (wall-clock ns); 0 = no deadline
+	wg       sync.WaitGroup
+	closed   atomic.Bool
 }
 
 // SetWatchdog bounds every subsequent WaitErr by d of wall-clock time
 // (0 disables the bound). Safe to call concurrently with waits.
 func (c *Cluster) SetWatchdog(d time.Duration) { c.wdNs.Store(int64(d)) }
 
-// NewCluster builds n ranks in the given mode. Offload mode spawns one
-// offload goroutine per rank; call Close to stop them.
-func NewCluster(n int, mode Mode) *Cluster {
-	c := &Cluster{mode: mode}
+// NewCluster builds n ranks in the given mode with default Options.
+// Offload mode spawns one offload goroutine per rank; call Close to stop
+// and join them.
+func NewCluster(n int, mode Mode) *Cluster { return NewClusterOpts(n, mode, Options{}) }
+
+// NewClusterOpts is NewCluster with explicit submission-path tuning.
+func NewClusterOpts(n int, mode Mode, o Options) *Cluster {
+	shards := o.ShardCount
+	if shards <= 0 {
+		shards = 16
+	}
+	batch := o.CmdBatchMax
+	if batch <= 0 {
+		batch = 16
+	}
+	c := &Cluster{mode: mode, batchMax: batch}
 	for i := 0; i < n; i++ {
 		r := &Rank{
 			id:         i,
@@ -135,12 +183,13 @@ func NewCluster(n int, mode Mode) *Cluster {
 			mu:         make(chan struct{}, 1),
 			posted:     make(map[matchKey][]pending),
 			unexpected: make(map[matchKey][]message),
-			cq:         queue.NewMPMC[cmd](1 << 12),
+			cq:         queue.NewSharded[cmd](shards, 1<<12, 1<<12),
 		}
 		c.ranks = append(c.ranks, r)
 	}
 	if mode == Offload {
 		for _, r := range c.ranks {
+			c.wg.Add(1)
 			go r.offloadLoop()
 		}
 	}
@@ -153,15 +202,62 @@ func (c *Cluster) Rank(i int) *Rank { return c.ranks[i] }
 // Size returns the number of ranks.
 func (c *Cluster) Size() int { return len(c.ranks) }
 
-// Close stops the offload goroutines.
+// Close stops the offload goroutines and blocks until every one has
+// exited, so tests can re-create clusters without leaking or racing the
+// previous cluster's loops. Idempotent: extra Closes return immediately.
 func (c *Cluster) Close() {
+	if !c.closed.CompareAndSwap(false, true) {
+		return
+	}
 	for _, r := range c.ranks {
 		r.stop.Store(true)
 	}
+	c.wg.Wait()
 }
 
 // Handle identifies an in-flight operation (a request-pool slot).
 type Handle int
+
+// Thread is a per-goroutine submission handle: its operations post into
+// the goroutine's private SPSC command shard, so concurrent posters never
+// contend on a shared cache line. Obtain one per goroutine with
+// RegisterThread and do not share it — the shard is single-producer.
+type Thread struct {
+	r     *Rank
+	shard int
+}
+
+// RegisterThread claims a private command shard for the calling goroutine.
+// Once the rank's ShardCount shards are taken, later registrants transparently
+// share the MPMC overflow shard (correct, just contended). In Direct mode
+// the handle simply forwards to the rank.
+func (r *Rank) RegisterThread() *Thread {
+	return &Thread{r: r, shard: r.cq.Register()}
+}
+
+// Rank returns the rank this thread submits to.
+func (th *Thread) Rank() *Rank { return th.r }
+
+// Isend starts a nonblocking send through the thread's private shard.
+func (th *Thread) Isend(buf []byte, dst, tag int) Handle { return th.r.isend(th.shard, buf, dst, tag) }
+
+// Irecv starts a nonblocking receive through the thread's private shard.
+func (th *Thread) Irecv(buf []byte, src, tag int) Handle { return th.r.irecv(th.shard, buf, src, tag) }
+
+// Send is the blocking send (Isend + Wait).
+func (th *Thread) Send(buf []byte, dst, tag int) { th.r.Wait(th.Isend(buf, dst, tag)) }
+
+// Recv is the blocking receive; it returns the received byte count.
+func (th *Thread) Recv(buf []byte, src, tag int) int { return th.r.Wait(th.Irecv(buf, src, tag)) }
+
+// Wait forwards to the rank's Wait.
+func (th *Thread) Wait(h Handle) int { return th.r.Wait(h) }
+
+// WaitErr forwards to the rank's WaitErr.
+func (th *Thread) WaitErr(h Handle) (int, error) { return th.r.WaitErr(h) }
+
+// Test forwards to the rank's Test.
+func (th *Thread) Test(h Handle) (bool, int) { return th.r.Test(h) }
 
 // lock/unlock implement the Direct-mode global lock.
 func (r *Rank) lock()   { r.mu <- struct{}{} }
@@ -169,13 +265,19 @@ func (r *Rank) unlock() { <-r.mu }
 
 // Isend starts a nonblocking send of buf to dst with tag. The payload is
 // copied (eager), so buf is immediately reusable; the returned handle
-// completes when the transport has accepted the message.
+// completes when the transport has accepted the message. Unregistered
+// callers post through the shared overflow shard — use RegisterThread for
+// the contention-free path.
 func (r *Rank) Isend(buf []byte, dst, tag int) Handle {
+	return r.isend(queue.Overflow, buf, dst, tag)
+}
+
+func (r *Rank) isend(shard int, buf []byte, dst, tag int) Handle {
 	slot := r.getSlot()
 	r.Sends.Add(1)
 	if r.mode == Offload {
 		data := append([]byte(nil), buf...) // serialize into the command
-		for !r.cq.TryEnqueue(cmd{kind: cmdSend, slot: slot, peer: dst, tag: tag, buf: data}) {
+		for !r.cq.TryEnqueue(shard, cmd{kind: cmdSend, slot: slot, peer: dst, tag: tag, buf: data}) {
 			runtime.Gosched()
 		}
 		return Handle(slot)
@@ -188,10 +290,14 @@ func (r *Rank) Isend(buf []byte, dst, tag int) Handle {
 
 // Irecv starts a nonblocking receive into buf from src with tag.
 func (r *Rank) Irecv(buf []byte, src, tag int) Handle {
+	return r.irecv(queue.Overflow, buf, src, tag)
+}
+
+func (r *Rank) irecv(shard int, buf []byte, src, tag int) Handle {
 	slot := r.getSlot()
 	r.Recvs.Add(1)
 	if r.mode == Offload {
-		for !r.cq.TryEnqueue(cmd{kind: cmdRecv, slot: slot, peer: src, tag: tag, buf: buf}) {
+		for !r.cq.TryEnqueue(shard, cmd{kind: cmdRecv, slot: slot, peer: src, tag: tag, buf: buf}) {
 			runtime.Gosched()
 		}
 		return Handle(slot)
@@ -209,7 +315,8 @@ func (r *Rank) Send(buf []byte, dst, tag int) { r.Wait(r.Isend(buf, dst, tag)) }
 func (r *Rank) Recv(buf []byte, src, tag int) int { return r.Wait(r.Irecv(buf, src, tag)) }
 
 // Wait blocks until the operation completes, releasing the handle; for
-// receives it returns the received byte count.
+// receives it returns the received byte count. A negative count reports a
+// failed receive (truncation — see WaitErr, which decodes it to an error).
 func (r *Rank) Wait(h Handle) int {
 	slot := int(h)
 	for !r.pool.Done(slot) {
@@ -230,14 +337,15 @@ func (r *Rank) Wait(h Handle) int {
 // WaitErr is Wait bounded by the cluster's watchdog deadline: when the
 // operation is still incomplete after SetWatchdog's duration it returns
 // ErrTimeout instead of spinning forever (a hung peer, a never-posted
-// receive). The timed-out request stays live and its pool slot is
-// intentionally leaked — the engine may still complete it later, and
+// receive). It also decodes the slot's error sentinel: a truncated receive
+// returns ErrTruncate. The timed-out request stays live and its pool slot
+// is intentionally leaked — the engine may still complete it later, and
 // recycling the slot under an in-flight operation would corrupt the pool
 // (MPI has no safe MPI_Request_free for active requests either).
 func (r *Rank) WaitErr(h Handle) (int, error) {
 	d := time.Duration(r.cluster.wdNs.Load())
 	if d <= 0 {
-		return r.Wait(h), nil
+		return decodeCount(r.Wait(h))
 	}
 	slot := int(h)
 	deadline := time.Now().Add(d)
@@ -255,11 +363,20 @@ func (r *Rank) WaitErr(h Handle) (int, error) {
 	}
 	n := int(atomic.LoadInt32(&r.count[slot]))
 	r.pool.Put(slot)
+	return decodeCount(n)
+}
+
+// decodeCount maps the slot byte-count sentinel space to (count, error).
+func decodeCount(n int) (int, error) {
+	if n < 0 {
+		return 0, ErrTruncate
+	}
 	return n, nil
 }
 
 // Test reports completion without blocking; on success the handle is
-// released and the received byte count returned.
+// released and the received byte count returned (negative = failed, as in
+// Wait).
 func (r *Rank) Test(h Handle) (bool, int) {
 	slot := int(h)
 	if r.mode == Direct {
@@ -275,9 +392,14 @@ func (r *Rank) Test(h Handle) (bool, int) {
 	return true, n
 }
 
+// getSlot allocates a request-pool slot with its byte count cleared: slots
+// recycle, and a send completion never writes the count, so a stale value
+// from the slot's previous receive would otherwise leak into the next
+// operation's Wait.
 func (r *Rank) getSlot() int {
 	for {
 		if s := r.pool.Get(); s != reqpool.None {
+			atomic.StoreInt32(&r.count[s], 0)
 			return s
 		}
 		runtime.Gosched()
@@ -309,9 +431,15 @@ func (r *Rank) doRecv(slot, src, tag int, buf []byte) {
 	r.posted[k] = append(r.posted[k], pending{slot: slot, buf: buf})
 }
 
+// landMessage completes a receive. A message longer than the posted buffer
+// fails the request with the truncation sentinel (payload dropped, like
+// MPI_ERR_TRUNCATE) instead of crashing the whole process: the waiter sees
+// a negative count and WaitErr turns it into ErrTruncate.
 func (r *Rank) landMessage(slot int, buf []byte, m message) {
 	if len(m.data) > len(buf) {
-		panic(fmt.Sprintf("rt: truncation: %d bytes into %d-byte buffer", len(m.data), len(buf)))
+		atomic.StoreInt32(&r.count[slot], truncSentinel)
+		r.pool.SetDone(slot)
+		return
 	}
 	copy(buf, m.data)
 	atomic.StoreInt32(&r.count[slot], int32(len(m.data)))
@@ -342,19 +470,25 @@ func (r *Rank) drain() {
 }
 
 // offloadLoop is the dedicated communication goroutine (§3): it alone
-// touches the matching engine — no locks anywhere.
+// touches the matching engine — no locks anywhere. Each wakeup drains up
+// to batchMax commands round-robin across the submission shards, then
+// lands whatever the transport delivered.
 func (r *Rank) offloadLoop() {
+	defer r.cluster.wg.Done()
+	batch := make([]cmd, r.cluster.batchMax)
 	for !r.stop.Load() {
-		worked := false
-		if c, ok := r.cq.TryDequeue(); ok {
-			worked = true
+		n := r.cq.DequeueBatch(batch)
+		for i := range batch[:n] {
+			c := &batch[i]
 			switch c.kind {
 			case cmdSend:
 				r.doSend(c.slot, c.peer, c.tag, c.buf)
 			case cmdRecv:
 				r.doRecv(c.slot, c.peer, c.tag, c.buf)
 			}
+			c.buf = nil // release the payload reference
 		}
+		worked := n > 0
 		if !r.inbox.Empty() {
 			r.drain()
 			worked = true

@@ -1,8 +1,8 @@
 package rt
 
 import (
-	"errors"
 	"bytes"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"

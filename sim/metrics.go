@@ -25,6 +25,10 @@ type Metrics struct {
 	// TestanyPolls counts offload-thread progress rounds; with Completed
 	// it yields PollsPerCompletion.
 	TestanyPolls int64
+	// Batched draining (§3.3 under contention): DrainBatches counts
+	// offload-thread wakeups that issued commands, BatchedCmds the commands
+	// they drained; MeanBatch derives the mean drain batch size.
+	DrainBatches, BatchedCmds int64
 
 	// Thread-class attribution: who posts operations and who drives
 	// progress. Under Offload every issue must come from the agent class;
@@ -61,6 +65,8 @@ func (m *Metrics) Add(o Metrics) {
 	m.ProgressNs += o.ProgressNs
 	m.IdleNs += o.IdleNs
 	m.TestanyPolls += o.TestanyPolls
+	m.DrainBatches += o.DrainBatches
+	m.BatchedCmds += o.BatchedCmds
 	m.IssuesApp += o.IssuesApp
 	m.IssuesAgent += o.IssuesAgent
 	m.ProgressApp += o.ProgressApp
@@ -89,6 +95,15 @@ func (m Metrics) DutyCycle() (issue, progress, idle float64) {
 	return float64(m.IssueNs) / total, float64(m.ProgressNs) / total, float64(m.IdleNs) / total
 }
 
+// MeanBatch is the mean number of commands the offload thread drained per
+// issuing wakeup (0 when no trace was attached or nothing was drained).
+func (m Metrics) MeanBatch() float64 {
+	if m.DrainBatches == 0 {
+		return 0
+	}
+	return float64(m.BatchedCmds) / float64(m.DrainBatches)
+}
+
 // PollsPerCompletion is the mean number of Testany progress rounds the
 // offload thread took per completed command — the §3.2 polling efficiency.
 func (m Metrics) PollsPerCompletion() float64 {
@@ -113,9 +128,9 @@ func rankMetricsOf(eng *proto.Engine, off *core.Offloader) Metrics {
 		Retransmits:    eng.RelStats().Retransmits,
 	}
 	if off != nil {
-		m.Submitted = off.Submitted
-		m.Issued = off.Issued
-		m.Completed = off.Completed
+		m.Submitted = off.Submitted.Load()
+		m.Issued = off.Issued.Load()
+		m.Completed = off.Completed.Load()
 		m.CmdQueueHWM = int64(off.QueueHighWater())
 		m.ReqPoolHWM = int64(off.PoolHighWater())
 	}
@@ -124,6 +139,8 @@ func rankMetricsOf(eng *proto.Engine, off *core.Offloader) Metrics {
 	m.ProgressNs = rm.ProgressNs
 	m.IdleNs = rm.IdleNs
 	m.TestanyPolls = rm.TestanyPolls
+	m.DrainBatches = rm.DrainBatches
+	m.BatchedCmds = rm.BatchedCmds
 	m.IssuesApp = rm.IssuesByTID[obs.TApp]
 	m.IssuesAgent = rm.IssuesByTID[obs.TAgent]
 	m.ProgressApp = rm.ProgressByTID[obs.TApp]
