@@ -10,13 +10,16 @@
 #                     interleavings are probed under -race on every CI pass.
 #   make bench-smoke  tiny enqueue-scaling sweep (cmd/mtbench -mtscale) whose
 #                     output must pass the mtscale/v1 schema validator.
+#   make critpath-smoke  tiny traced osubench run piped through cmd/tracetool
+#                     -check: fails unless every run's critical-path
+#                     attribution sums exactly to its elapsed virtual time.
 #   make mtscale      full sweep, regenerates BENCH_mtscale.json in place.
 
 GO ?= go
 
-.PHONY: ci vet build test race bench-smoke mtscale
+.PHONY: ci vet build test race bench-smoke critpath-smoke mtscale
 
-ci: vet build test race bench-smoke
+ci: vet build test race bench-smoke critpath-smoke
 
 vet:
 	$(GO) vet ./...
@@ -33,6 +36,10 @@ race:
 bench-smoke:
 	$(GO) run ./cmd/mtbench -mtscale -out /tmp/mtscale_smoke.json -scale-iters 3 -rt-iters 512
 	$(GO) run ./cmd/mtbench -validate /tmp/mtscale_smoke.json
+
+critpath-smoke:
+	$(GO) run ./cmd/osubench -test=latency -iters 2 -approaches offload -trace /tmp/critpath_smoke.json > /dev/null
+	$(GO) run ./cmd/tracetool -check /tmp/critpath_smoke.json
 
 mtscale:
 	$(GO) run ./cmd/mtbench -mtscale -out BENCH_mtscale.json

@@ -14,7 +14,7 @@ var resil sim.Resilience
 func run(cfg sim.Config, program func(env *Env)) sim.Result {
 	res := sim.Run(cfg, program)
 	resil.Add(res.Resilience)
-	met.Add(res.Metrics)
+	accumulateMetrics(cfg.Approach, res.Metrics)
 	return res
 }
 

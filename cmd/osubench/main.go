@@ -14,8 +14,12 @@
 // set, a fault/recovery counter table is printed after the results.
 //
 // Observability: -trace=FILE writes a Chrome trace_event JSON of every run
-// (open it in chrome://tracing or Perfetto) and prints a per-run digest;
-// -metrics prints the per-layer offload metrics table after the results.
+// (open it in chrome://tracing or Perfetto, with send→recv flow arrows) and
+// prints a per-run digest; -metrics prints one per-layer offload metrics
+// table per approach (with queue-wait/service/transit latency percentiles);
+// -critpath prints each run's critical-path attribution, which is also
+// embedded in the trace's metadata block (cmd/tracetool re-derives it from
+// the file alone).
 package main
 
 import (
@@ -29,6 +33,7 @@ import (
 	"mpioffload/internal/fault"
 	"mpioffload/internal/model"
 	"mpioffload/internal/obs"
+	"mpioffload/internal/obs/critpath"
 	"mpioffload/sim"
 )
 
@@ -45,7 +50,8 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault-injection PRNG")
 	watchdogUs := flag.Float64("watchdog-us", 0, "per-request watchdog deadline in µs (0 = off)")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON of the runs to FILE")
-	metrics := flag.Bool("metrics", false, "print the per-layer offload metrics table")
+	metrics := flag.Bool("metrics", false, "print the per-layer offload metrics table per approach")
+	critPath := flag.Bool("critpath", false, "print each traced run's critical-path attribution (needs -trace)")
 	flag.Parse()
 
 	apps, err := parseApproaches(*approaches)
@@ -146,13 +152,23 @@ func main() {
 		emit(bench.ResilienceTable(bench.TakeResilience()), *csv)
 	}
 	if *metrics {
-		emit(bench.MetricsTable(bench.TakeMetrics()), *csv)
+		for _, am := range bench.TakeMetricsPerApproach() {
+			emit(bench.MetricsTableTitled(
+				fmt.Sprintf("offload metrics [%s]", am.Approach), am.M), *csv)
+		}
 	}
 	if tr != nil {
+		reports := critpath.Analyze(tr)
+		tr.AddMeta("critpath", critpath.MetaJSON(reports))
 		if err := writeTrace(*traceFile, tr); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Print(obs.Summary(tr))
+		if *critPath {
+			for _, rep := range reports {
+				fmt.Print(rep.Table())
+			}
+		}
 		fmt.Printf("trace written to %s (open in chrome://tracing or Perfetto)\n", *traceFile)
 	}
 }

@@ -7,8 +7,10 @@
 //	            (-size=8 for Fig 3a, -size=16384 for Fig 3b)
 //
 // Observability: -trace=FILE writes a Chrome trace_event JSON of every run
-// (open it in chrome://tracing or Perfetto) and prints a per-run digest;
-// -metrics prints the per-layer offload metrics table after the results.
+// (open it in chrome://tracing or Perfetto, with send→recv flow arrows) and
+// prints a per-run digest; -metrics prints one per-layer offload metrics
+// table per approach; -critpath prints each run's critical-path
+// attribution, which is also embedded in the trace's metadata block.
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"mpioffload/bench"
 	"mpioffload/internal/model"
 	"mpioffload/internal/obs"
+	"mpioffload/internal/obs/critpath"
 	"mpioffload/sim"
 )
 
@@ -31,7 +34,8 @@ func main() {
 	iters := flag.Int("iters", 10, "measured iterations")
 	csv := flag.Bool("csv", false, "emit CSV")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON of the runs to FILE")
-	metrics := flag.Bool("metrics", false, "print the per-layer offload metrics table")
+	metrics := flag.Bool("metrics", false, "print the per-layer offload metrics table per approach")
+	critPath := flag.Bool("critpath", false, "print each traced run's critical-path attribution (needs -trace)")
 	flag.Parse()
 
 	prof, err := model.ByName(*profile)
@@ -81,13 +85,23 @@ func main() {
 	}
 
 	if *metrics {
-		emit(bench.MetricsTable(bench.TakeMetrics()), *csv)
+		for _, am := range bench.TakeMetricsPerApproach() {
+			emit(bench.MetricsTableTitled(
+				fmt.Sprintf("offload metrics [%s]", am.Approach), am.M), *csv)
+		}
 	}
 	if tr != nil {
+		reports := critpath.Analyze(tr)
+		tr.AddMeta("critpath", critpath.MetaJSON(reports))
 		if err := writeTrace(*traceFile, tr); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Print(obs.Summary(tr))
+		if *critPath {
+			for _, rep := range reports {
+				fmt.Print(rep.Table())
+			}
+		}
 		fmt.Printf("trace written to %s (open in chrome://tracing or Perfetto)\n", *traceFile)
 	}
 }

@@ -53,12 +53,16 @@ type Cmd struct {
 	// the request to track, or nil if the operation completed inline.
 	Issue func(t *vclock.Task) proto.Req
 	id    int64 // submission sequence number (trace span id)
+	enqTS int64 // virtual ns at enqueue (stamped before insertion: the
+	// consumer may dequeue the command the moment it lands, so the stamp
+	// must already be there for the queue-wait histogram)
 }
 
 type inflightEntry struct {
-	slot int
-	id   int64
-	req  proto.Req
+	slot  int
+	id    int64
+	deqTS int64 // virtual ns at dequeue (offload service histogram)
+	req   proto.Req
 }
 
 // Offloader owns one rank's offload thread, command queue and request pool.
@@ -83,6 +87,12 @@ type Offloader struct {
 	Failed     atomic.Int64 // completions carrying a watchdog error
 	IdleWaits  atomic.Int64
 	QueueFullN atomic.Int64
+
+	// Depth distributions, fed by the queue's consumer-side depth sampler
+	// and the pool's occupancy sampler. Atomic: the pool sampler runs on
+	// concurrent submitting threads under the real-goroutine race probes.
+	QDepthH  obs.AtomicHist
+	PoolOccH obs.AtomicHist
 }
 
 // New creates the offloader for eng's rank and spawns its offload thread as
@@ -107,6 +117,8 @@ func New(k *vclock.Kernel, eng *proto.Engine) *Offloader {
 		slotEv:   make(map[int]*vclock.Event),
 		shardOf:  make(map[string]int),
 	}
+	o.cq.SetDepthSampler(o.QDepthH.Observe)
+	o.pool.SetOccupancySampler(o.PoolOccH.Observe)
 	k.GoDaemon(fmt.Sprintf("offload.%d", eng.Rank), o.run)
 	return o
 }
@@ -141,15 +153,16 @@ func (o *Offloader) run(t *vclock.Task) {
 			t0 := t.Now()
 			for i, cmd := range batch[:n] {
 				batch[i] = nil // release the reference once issued
-				rec.CmdDequeued(t.Now(), cmd.id, o.cq.Len()+n-1-i)
+				deq := t.Now()
+				rec.CmdDequeued(deq, cmd.id, o.cq.Len()+n-1-i, deq-cmd.enqTS)
 				t.SleepF(o.P.DequeueCost)
 				req := cmd.Issue(t)
 				o.Issued.Add(1)
 				if req == nil || req.Done() {
 					o.noteFailed(req)
-					o.complete(cmd.Slot, cmd.id)
+					o.complete(cmd.Slot, cmd.id, flowOf(req), t.Now()-deq)
 				} else {
-					o.inflight = append(o.inflight, inflightEntry{cmd.Slot, cmd.id, req})
+					o.inflight = append(o.inflight, inflightEntry{cmd.Slot, cmd.id, deq, req})
 				}
 			}
 			rec.DutyIssueBatch(t.Now()-t0, n)
@@ -169,7 +182,7 @@ func (o *Offloader) run(t *vclock.Task) {
 			for _, e := range o.inflight {
 				if e.req.Done() {
 					o.noteFailed(e.req)
-					o.complete(e.slot, e.id)
+					o.complete(e.slot, e.id, flowOf(e.req), t.Now()-e.deqTS)
 					completed = true
 				} else {
 					kept = append(kept, e)
@@ -207,10 +220,19 @@ func (o *Offloader) noteFailed(req proto.Req) {
 	}
 }
 
-func (o *Offloader) complete(slot int, id int64) {
+// flowOf extracts the causal flow id the request carries (0 for
+// collective schedules and inline-nil requests).
+func flowOf(req proto.Req) int64 {
+	if op, ok := req.(*proto.Op); ok && op != nil {
+		return op.Flow
+	}
+	return 0
+}
+
+func (o *Offloader) complete(slot int, id, flow, serviceNs int64) {
 	o.pool.SetDone(slot)
 	o.Completed.Add(1)
-	o.Eng.Obs.CmdCompleted(o.Eng.K.Now(), id)
+	o.Eng.Obs.CmdCompleted(o.Eng.K.Now(), id, flow, serviceNs)
 	if ev := o.slotEv[slot]; ev != nil {
 		ev.Broadcast(o.Eng.K)
 		delete(o.slotEv, slot)
@@ -232,13 +254,19 @@ func (o *Offloader) Submit(t *vclock.Task, issue func(t *vclock.Task) proto.Req)
 	}
 	cmd := &Cmd{Slot: slot, Issue: issue, id: o.Submitted.Add(1)}
 	shard := o.shardFor(t)
+	// Stamp the enqueue time before insertion and record the event before
+	// yielding: the offload thread may dequeue the command the moment it
+	// lands, and the trace must stay chronological (enqueue before dequeue)
+	// with a non-negative queue wait.
+	cmd.enqTS = t.Now()
 	for !o.cq.TryEnqueue(shard, cmd) {
 		o.QueueFullN.Add(1)
 		seq := o.Eng.Seq()
 		o.Eng.AwaitChange(t, seq)
+		cmd.enqTS = t.Now()
 	}
+	o.Eng.Obs.CmdEnqueued(cmd.enqTS, obs.TaskClass(t.Name), cmd.id, o.cq.Len())
 	t.SleepF(o.P.EnqueueCost)
-	o.Eng.Obs.CmdEnqueued(t.Now(), obs.TaskClass(t.Name), cmd.id, o.cq.Len())
 	o.Eng.Bump() // doorbell
 	return Handle(slot)
 }

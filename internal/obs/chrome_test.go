@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestChromeExportOrphanedSpanEnds wraps the ring past a span's begin: the
+// surviving cmd.dequeue/cmd.complete halves must not emit unmatched async
+// ends (Perfetto rejects them), the JSON must stay valid, and the drops
+// must be counted.
+func TestChromeExportOrphanedSpanEnds(t *testing.T) {
+	tr := NewTrace(Options{RingCap: 4})
+	run := tr.StartRun("wrap x1", 1)
+	rec := run.Ranks[0]
+	rec.CmdEnqueued(100, TApp, 1, 1) // will be overwritten
+	rec.CmdDequeued(200, 1, 0, 100)  // overwritten too
+	rec.CmdEnqueued(300, TApp, 2, 1) // overwritten by the 5th push
+	rec.CmdDequeued(400, 2, 0, 100)  // survives, but its enqueue is gone
+	rec.CmdCompleted(500, 1, 0, 300) // survives; its dequeue is gone
+	rec.CmdCompleted(600, 2, 0, 200) // survives; its dequeue survived
+	rec.CmdEnqueued(700, TApp, 3, 1) // survives unpaired (open span: fine)
+	run.SetEnd(800, []int64{800})
+
+	var buf bytes.Buffer
+	st, err := WriteChromeStats(&buf, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("export with wrapped ring is not valid JSON:\n%s", buf.String())
+	}
+	// cmd 2's dequeue lost its enqueue (orphaned "queued" end) and cmd 1's
+	// complete lost its dequeue (orphaned "mpi" end): two suppressions.
+	if st.OrphanSpanEnds != 2 {
+		t.Fatalf("OrphanSpanEnds = %d, want 2", st.OrphanSpanEnds)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	begins := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev["cat"] == "cmd" {
+			if ev["ph"] == "b" {
+				begins[ev["id"].(string)+"/"+ev["name"].(string)]++
+			}
+		}
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev["cat"] == "cmd" && ev["ph"] == "e" {
+			key := ev["id"].(string) + "/" + ev["name"].(string)
+			if begins[key] == 0 {
+				t.Errorf("unmatched async end %s in export", key)
+			}
+		}
+	}
+	if !strings.Contains(buf.String(), `"orphan_span_ends":2`) {
+		t.Errorf("metadata missing orphan_span_ends count")
+	}
+}
+
+// TestChromeExportDropsHalfFlows overwrites one endpoint of a flow: the
+// surviving instants must still be exported, but no dangling flow binding
+// may be emitted, and the drop must be counted. A fully retained flow in
+// the same run still gets its arrows.
+func TestChromeExportDropsHalfFlows(t *testing.T) {
+	tr := NewTrace(Options{RingCap: 4})
+	run := tr.StartRun("halfflow x2", 2)
+	const lost = int64(1)<<32 | 1
+	const kept = int64(1)<<32 | 2
+	r0 := run.Ranks[0]
+	r0.Issued(100, TApp, EvIssueEager, 8, 1, lost) // overwritten below
+	r0.Issued(200, TApp, EvIssueEager, 8, 1, kept)
+	r0.Converted(300, TApp)
+	r0.Converted(400, TApp)
+	r0.Converted(500, TApp) // 5th push: the ring (cap 4) drops the lost issue
+	r1 := run.Ranks[1]
+	r1.EagerLanded(250, TApp, 8, 0, lost) // start gone: must not bind
+	r1.EagerLanded(260, TApp, 8, 0, kept) // fully matched
+	run.SetEnd(600, []int64{600, 600})
+
+	var buf bytes.Buffer
+	st, err := WriteChromeStats(&buf, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("export is not valid JSON:\n%s", buf.String())
+	}
+	if st.FlowPairs != 1 {
+		t.Fatalf("FlowPairs = %d, want 1 (only the kept flow)", st.FlowPairs)
+	}
+	// The lost flow's landing survives as an instant but its binding is
+	// dropped (1 drop); the kept flow binds s+f.
+	if st.FlowEventsDropped != 1 {
+		t.Fatalf("FlowEventsDropped = %d, want 1", st.FlowEventsDropped)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	flowIDs := map[string][]string{}
+	lands := 0
+	for _, ev := range doc.TraceEvents {
+		if ev["cat"] == "flow" {
+			id := ev["id"].(string)
+			flowIDs[id] = append(flowIDs[id], ev["ph"].(string))
+		}
+		if ev["name"] == "eager.land" {
+			lands++
+		}
+	}
+	if lands != 2 {
+		t.Errorf("landing instants = %d, want 2 (drops only suppress arrows)", lands)
+	}
+	if len(flowIDs) != 1 {
+		t.Fatalf("flow ids bound = %v, want exactly the kept flow", flowIDs)
+	}
+	for id, phs := range flowIDs {
+		if len(phs) != 2 || phs[0] != "s" || phs[1] != "f" {
+			t.Errorf("flow %s bindings = %v, want [s f]", id, phs)
+		}
+	}
+}

@@ -41,6 +41,9 @@ const (
 	EvRetransmit                  // A=seq, B=peer
 	EvWatchdog                    // A=peer (request failed by the watchdog)
 	EvConvert                     // blocking call converted to nonblocking
+	EvDeliver                     // A=bytes, B=src (flow-stamped packet hit the NIC)
+	EvEagerLand                   // A=bytes, B=src (eager payload landed in a recv)
+	EvRdvStart                    // A=bytes, B=peer (sender processed CTS, RDMA starts)
 )
 
 // String names the kind as it appears in exported traces.
@@ -68,8 +71,25 @@ func (k Kind) String() string {
 		return "watchdog"
 	case EvConvert:
 		return "convert"
+	case EvDeliver:
+		return "deliver"
+	case EvEagerLand:
+		return "eager.land"
+	case EvRdvStart:
+		return "rdv.start"
 	}
 	return "unknown"
+}
+
+// KindFromString inverts String (tools reconstructing events from exported
+// traces). Unknown names map to Kind 0.
+func KindFromString(s string) Kind {
+	for k := EvCmdEnqueue; k <= EvRdvStart; k++ {
+		if k.String() == s {
+			return k
+		}
+	}
+	return 0
 }
 
 // Thread classes: every event is attributed to the class of simulated
@@ -107,12 +127,26 @@ func TaskClass(name string) uint8 {
 }
 
 // Event is one trace record: a virtual timestamp, a kind, the producing
-// thread class, and two kind-specific arguments.
+// thread class, two kind-specific arguments, and the causal flow the event
+// belongs to (0 = none).
 type Event struct {
 	TS   int64 // virtual ns
 	A, B int64
+	// Flow is the causal flow id linking a sender-side issue event to the
+	// receiver-side landing/completion events of the same message:
+	// (src rank + 1) << 32 | per-engine sequence number. 0 means the event
+	// is not part of a message flow.
+	Flow int64
 	Kind Kind
 	TID  uint8
+}
+
+// FlowSrc recovers the source rank encoded in a flow id (-1 for no flow).
+func FlowSrc(flow int64) int {
+	if flow == 0 {
+		return -1
+	}
+	return int(flow>>32) - 1
 }
 
 // RankMetrics are the per-rank counters the recorder accumulates. The sim
@@ -148,6 +182,21 @@ type RankMetrics struct {
 	Conversions   int64 // blocking→nonblocking conversions (offload §3.3)
 	Retransmits   int64
 	WatchdogTrips int64
+
+	// Causal-flow accounting: messages stamped with a flow id on issue, and
+	// flows observed landing at this rank (eager payload copied out or
+	// rendezvous data noticed by software).
+	FlowsSent   int64
+	FlowsLanded int64
+
+	// Per-op latency decomposition (log2-bucketed, virtual ns):
+	// queue-wait (cmd enqueue→dequeue), offload service (dequeue→complete),
+	// network transit (wire send→NIC delivery), and rendezvous-handshake
+	// round trip (RTS post→CTS processed by the sender).
+	QueueWaitH Hist
+	ServiceH   Hist
+	TransitH   Hist
+	RdvRttH    Hist
 }
 
 // Add accumulates o into m (Rank is left alone).
@@ -172,6 +221,12 @@ func (m *RankMetrics) Add(o RankMetrics) {
 	m.Conversions += o.Conversions
 	m.Retransmits += o.Retransmits
 	m.WatchdogTrips += o.WatchdogTrips
+	m.FlowsSent += o.FlowsSent
+	m.FlowsLanded += o.FlowsLanded
+	m.QueueWaitH.Add(o.QueueWaitH)
+	m.ServiceH.Add(o.ServiceH)
+	m.TransitH.Add(o.TransitH)
+	m.RdvRttH.Add(o.RdvRttH)
 }
 
 // Options configures a Trace.
@@ -189,12 +244,41 @@ type Trace struct {
 	opts Options
 	on   atomic.Bool
 	Runs []*RunTrace
+	// Meta holds extra JSON objects embedded (in insertion order, for
+	// byte-determinism) in the Chrome export's metadata block — critical-path
+	// reports, experiment parameters.
+	Meta []MetaEntry
 }
 
-// RunTrace holds one simulation run's recorders, one per rank.
+// MetaEntry is one user-attached metadata object for the Chrome export.
+type MetaEntry struct {
+	Key  string
+	JSON []byte // must be a valid JSON value
+}
+
+// AddMeta attaches a JSON value under key to the Chrome export's metadata
+// block.
+func (tr *Trace) AddMeta(key string, raw []byte) {
+	tr.Meta = append(tr.Meta, MetaEntry{Key: key, JSON: raw})
+}
+
+// RunTrace holds one simulation run's recorders, one per rank, plus the
+// run's end-of-time bookkeeping (filled by sim.Run via SetEnd).
 type RunTrace struct {
 	Label string
 	Ranks []*Recorder
+
+	// ElapsedNs is the run's total virtual time; RankEndNs the per-rank
+	// finish times. Zero until SetEnd is called. The critical-path analyzer
+	// anchors its backward walk here.
+	ElapsedNs int64
+	RankEndNs []int64
+}
+
+// SetEnd records the run's elapsed virtual time and per-rank finish times.
+func (run *RunTrace) SetEnd(elapsed int64, rankEnd []int64) {
+	run.ElapsedNs = elapsed
+	run.RankEndNs = append(run.RankEndNs[:0], rankEnd...)
 }
 
 // NewTrace returns an enabled trace.
@@ -320,22 +404,29 @@ func (r *Recorder) CmdEnqueued(ts int64, tid uint8, id int64, depth int) {
 	r.push(Event{TS: ts, Kind: EvCmdEnqueue, TID: tid, A: id, B: int64(depth)})
 }
 
-// CmdDequeued records the offload thread popping a command.
-func (r *Recorder) CmdDequeued(ts int64, id int64, depth int) {
+// CmdDequeued records the offload thread popping a command; waitNs is the
+// command's queue wait (enqueue→dequeue), observed into the queue-wait
+// histogram.
+func (r *Recorder) CmdDequeued(ts int64, id int64, depth int, waitNs int64) {
 	if !r.Enabled() {
 		return
 	}
 	r.M.CmdDeq++
+	r.M.QueueWaitH.Observe(waitNs)
 	r.push(Event{TS: ts, Kind: EvCmdDequeue, TID: TAgent, A: id, B: int64(depth)})
 }
 
-// CmdCompleted records a command's done flag being set.
-func (r *Recorder) CmdCompleted(ts int64, id int64) {
+// CmdCompleted records a command's done flag being set. flow links the
+// completion to the message flow the command issued (0 when the command
+// did not post a flow-stamped op); serviceNs is the dequeue→complete
+// offload service time, observed into the service histogram.
+func (r *Recorder) CmdCompleted(ts int64, id int64, flow int64, serviceNs int64) {
 	if !r.Enabled() {
 		return
 	}
 	r.M.CmdDone++
-	r.push(Event{TS: ts, Kind: EvCmdComplete, TID: TAgent, A: id})
+	r.M.ServiceH.Observe(serviceNs)
+	r.push(Event{TS: ts, Kind: EvCmdComplete, TID: TAgent, A: id, Flow: flow})
 }
 
 // DutyIssue charges ns of offload-thread time to command issue.
@@ -371,13 +462,18 @@ func (r *Recorder) DutyIdle(ns int64) {
 }
 
 // Issued records an Isend/Irecv entering the protocol engine. kind must be
-// one of EvIssueEager, EvIssueRdv, EvIssueRecv.
-func (r *Recorder) Issued(ts int64, tid uint8, kind Kind, bytes, peer int) {
+// one of EvIssueEager, EvIssueRdv, EvIssueRecv; flow is the message's
+// causal flow id (sends; 0 for receives, which inherit the sender's flow
+// at landing).
+func (r *Recorder) Issued(ts int64, tid uint8, kind Kind, bytes, peer int, flow int64) {
 	if !r.Enabled() {
 		return
 	}
 	r.M.IssuesByTID[tid]++
-	r.push(Event{TS: ts, Kind: kind, TID: tid, A: int64(bytes), B: int64(peer)})
+	if flow != 0 {
+		r.M.FlowsSent++
+	}
+	r.push(Event{TS: ts, Kind: kind, TID: tid, A: int64(bytes), B: int64(peer), Flow: flow})
 }
 
 // Progressed counts one progress-engine invocation by thread class.
@@ -389,19 +485,59 @@ func (r *Recorder) Progressed(tid uint8) {
 }
 
 // CtsAnswered records a CTS sent in answer to a rendezvous RTS.
-func (r *Recorder) CtsAnswered(ts int64, tid uint8, bytes, peer int) {
+func (r *Recorder) CtsAnswered(ts int64, tid uint8, bytes, peer int, flow int64) {
 	if !r.Enabled() {
 		return
 	}
-	r.push(Event{TS: ts, Kind: EvCTS, TID: tid, A: int64(bytes), B: int64(peer)})
+	r.push(Event{TS: ts, Kind: EvCTS, TID: tid, A: int64(bytes), B: int64(peer), Flow: flow})
 }
 
 // RdvDone records rendezvous data landing (FIN: the transfer finished).
-func (r *Recorder) RdvDone(ts int64, tid uint8, bytes, peer int) {
+// The sender's NIC records it in TNIC context; the receiver's software
+// notice (any other tid) is the flow's terminal event and counts a landed
+// flow.
+func (r *Recorder) RdvDone(ts int64, tid uint8, bytes, peer int, flow int64) {
 	if !r.Enabled() {
 		return
 	}
-	r.push(Event{TS: ts, Kind: EvRdvFin, TID: tid, A: int64(bytes), B: int64(peer)})
+	if tid != TNIC && flow != 0 {
+		r.M.FlowsLanded++
+	}
+	r.push(Event{TS: ts, Kind: EvRdvFin, TID: tid, A: int64(bytes), B: int64(peer), Flow: flow})
+}
+
+// Delivered records a flow-stamped packet reaching this rank's NIC
+// (delivery callback context); transitNs is the wire transit time since
+// the packet was sent, observed into the network-transit histogram.
+func (r *Recorder) Delivered(ts int64, bytes, src int, flow int64, transitNs int64) {
+	if !r.Enabled() {
+		return
+	}
+	r.M.TransitH.Observe(transitNs)
+	r.push(Event{TS: ts, Kind: EvDeliver, TID: TNIC, A: int64(bytes), B: int64(src), Flow: flow})
+}
+
+// EagerLanded records an eager payload being copied into its matching
+// receive — the terminal event of an eager flow.
+func (r *Recorder) EagerLanded(ts int64, tid uint8, bytes, src int, flow int64) {
+	if !r.Enabled() {
+		return
+	}
+	if flow != 0 {
+		r.M.FlowsLanded++
+	}
+	r.push(Event{TS: ts, Kind: EvEagerLand, TID: tid, A: int64(bytes), B: int64(src), Flow: flow})
+}
+
+// RdvStarted records the sender processing a CTS (the RDMA transfer
+// starts); rttNs is the rendezvous-handshake round trip since the RTS was
+// posted, observed into the handshake-RTT histogram.
+func (r *Recorder) RdvStarted(ts int64, tid uint8, bytes, peer int, flow int64, rttNs int64) {
+	if !r.Enabled() {
+		return
+	}
+	r.M.RdvRttH.Observe(rttNs)
+	r.push(Event{TS: ts, Kind: EvRdvStart, TID: tid, A: int64(bytes), B: int64(peer), Flow: flow})
 }
 
 // Retransmitted records a reliable-delivery retransmission (NIC context).

@@ -14,15 +14,18 @@ func TestNilRecorderIsSafe(t *testing.T) {
 	}
 	// Every hook must be a no-op on a nil recorder.
 	r.CmdEnqueued(1, TApp, 1, 1)
-	r.CmdDequeued(1, 1, 0)
-	r.CmdCompleted(1, 1)
+	r.CmdDequeued(1, 1, 0, 5)
+	r.CmdCompleted(1, 1, 42, 5)
 	r.DutyIssue(1)
 	r.DutyProgress(1)
 	r.DutyIdle(1)
-	r.Issued(1, TApp, EvIssueEager, 8, 1)
+	r.Issued(1, TApp, EvIssueEager, 8, 1, 42)
 	r.Progressed(TApp)
-	r.CtsAnswered(1, TApp, 8, 1)
-	r.RdvDone(1, TApp, 8, 1)
+	r.CtsAnswered(1, TApp, 8, 1, 42)
+	r.RdvDone(1, TApp, 8, 1, 42)
+	r.Delivered(1, 8, 1, 42, 5)
+	r.EagerLanded(1, TApp, 8, 1, 42)
+	r.RdvStarted(1, TApp, 8, 1, 42, 5)
 	r.Retransmitted(1, 1, 1)
 	r.WatchdogTripped(1, 1)
 	r.Converted(1, TApp)
@@ -54,7 +57,7 @@ func TestDisabledRecorderRecordsNothing(t *testing.T) {
 func TestRingWrapKeepsNewestInOrder(t *testing.T) {
 	rec := NewRecorder(0, 4)
 	for i := 1; i <= 10; i++ {
-		rec.CmdCompleted(int64(i), int64(i))
+		rec.CmdCompleted(int64(i), int64(i), 0, 0)
 	}
 	evs := rec.Events()
 	if len(evs) != 4 {
@@ -87,63 +90,159 @@ func TestTaskClass(t *testing.T) {
 	}
 }
 
+func TestKindStringRoundTrip(t *testing.T) {
+	for k := EvCmdEnqueue; k <= EvRdvStart; k++ {
+		if got := KindFromString(k.String()); got != k {
+			t.Errorf("KindFromString(%q) = %d, want %d", k.String(), got, k)
+		}
+	}
+	if got := KindFromString("nonsense"); got != 0 {
+		t.Errorf("KindFromString(nonsense) = %d, want 0", got)
+	}
+}
+
+func TestFlowSrc(t *testing.T) {
+	if got := FlowSrc(0); got != -1 {
+		t.Errorf("FlowSrc(0) = %d, want -1", got)
+	}
+	flow := int64(3+1)<<32 | 17
+	if got := FlowSrc(flow); got != 3 {
+		t.Errorf("FlowSrc = %d, want 3", got)
+	}
+}
+
 func TestRankMetricsAdd(t *testing.T) {
-	a := RankMetrics{CmdEnq: 1, IssueNs: 10, Conversions: 2}
+	a := RankMetrics{CmdEnq: 1, IssueNs: 10, Conversions: 2, FlowsSent: 1}
 	a.IssuesByTID[TAgent] = 3
-	b := RankMetrics{CmdEnq: 2, IssueNs: 5, Conversions: 1}
+	a.QueueWaitH.Observe(8)
+	b := RankMetrics{CmdEnq: 2, IssueNs: 5, Conversions: 1, FlowsSent: 2}
 	b.IssuesByTID[TAgent] = 4
+	b.QueueWaitH.Observe(100)
 	a.Add(b)
 	if a.CmdEnq != 3 || a.IssueNs != 15 || a.Conversions != 3 || a.IssuesByTID[TAgent] != 7 {
 		t.Fatalf("Add mismatch: %+v", a)
 	}
+	if a.FlowsSent != 3 || a.QueueWaitH.Count != 2 || a.QueueWaitH.Max != 100 {
+		t.Fatalf("flow/hist Add mismatch: sent=%d hist=%s", a.FlowsSent, a.QueueWaitH.String())
+	}
+}
+
+func TestHookHistogramObservation(t *testing.T) {
+	rec := NewRecorder(0, 64)
+	rec.CmdDequeued(10, 1, 0, 7)
+	rec.CmdCompleted(20, 1, 42, 10)
+	rec.Delivered(30, 8, 1, 42, 300)
+	rec.RdvStarted(40, TApp, 1<<20, 1, 42, 900)
+	m := rec.Metrics()
+	if m.QueueWaitH.Count != 1 || m.QueueWaitH.Max != 7 {
+		t.Errorf("queue-wait hist = %s, want n=1 max=7", m.QueueWaitH.String())
+	}
+	if m.ServiceH.Count != 1 || m.ServiceH.Max != 10 {
+		t.Errorf("service hist = %s, want n=1 max=10", m.ServiceH.String())
+	}
+	if m.TransitH.Count != 1 || m.TransitH.Max != 300 {
+		t.Errorf("transit hist = %s, want n=1 max=300", m.TransitH.String())
+	}
+	if m.RdvRttH.Count != 1 || m.RdvRttH.Max != 900 {
+		t.Errorf("rdv-rtt hist = %s, want n=1 max=900", m.RdvRttH.String())
+	}
+}
+
+func TestFlowAccounting(t *testing.T) {
+	rec := NewRecorder(0, 64)
+	rec.Issued(1, TApp, EvIssueEager, 8, 1, 42)
+	rec.Issued(2, TApp, EvIssueRecv, 8, 1, 0) // receives carry no flow at issue
+	rec.EagerLanded(3, TApp, 8, 1, 7)
+	rec.RdvDone(4, TNIC, 8, 1, 9) // sender-side NIC completion: not a landing
+	rec.RdvDone(5, TAgent, 8, 1, 9)
+	m := rec.Metrics()
+	if m.FlowsSent != 1 {
+		t.Errorf("FlowsSent = %d, want 1", m.FlowsSent)
+	}
+	if m.FlowsLanded != 2 {
+		t.Errorf("FlowsLanded = %d, want 2 (eager land + software rdv fin)", m.FlowsLanded)
+	}
 }
 
 // TestChromeExportIsValidJSON checks the exporter produces well-formed
-// trace_event JSON covering every event kind, with span pairs intact.
+// trace_event JSON covering every event kind, with span pairs intact and
+// matched flow bindings emitted.
 func TestChromeExportIsValidJSON(t *testing.T) {
 	tr := NewTrace(Options{RingCap: 64})
 	run := tr.StartRun("offload x2", 2)
+	const flow = int64(1)<<32 | 1 // rank 0's first flow
 	r0 := run.Ranks[0]
 	r0.CmdEnqueued(100, TApp, 1, 1)
-	r0.CmdDequeued(200, 1, 0)
-	r0.Issued(210, TAgent, EvIssueRdv, 1<<20, 1)
-	r0.CtsAnswered(300, TAgent, 1<<20, 1)
-	r0.RdvDone(400, TNIC, 1<<20, 1)
-	r0.CmdCompleted(500, 1)
-	r0.Issued(600, TAgent, EvIssueEager, 8, 1)
-	r0.Issued(610, TAgent, EvIssueRecv, 8, -1)
+	r0.CmdDequeued(200, 1, 0, 100)
+	r0.Issued(210, TAgent, EvIssueRdv, 1<<20, 1, flow)
+	r0.RdvStarted(350, TAgent, 1<<20, 1, flow, 140)
+	r0.RdvDone(400, TNIC, 1<<20, 1, flow)
+	r0.CmdCompleted(500, 1, flow, 300)
+	r0.Issued(600, TAgent, EvIssueEager, 8, 1, 0)
+	r0.Issued(610, TAgent, EvIssueRecv, 8, -1, 0)
 	r0.Retransmitted(700, 3, 1)
 	r0.WatchdogTripped(800, 1)
 	r0.Converted(900, TApp)
-	run.Ranks[1].Progressed(TAgent)
+	r1 := run.Ranks[1]
+	r1.Delivered(250, 64, 0, flow, 40)
+	r1.CtsAnswered(300, TAgent, 1<<20, 0, flow)
+	r1.RdvDone(450, TAgent, 1<<20, 0, flow)
+	r1.Progressed(TAgent)
+	run.SetEnd(1000, []int64{900, 950})
 
 	var buf bytes.Buffer
-	if err := WriteChrome(&buf, tr); err != nil {
+	st, err := WriteChromeStats(&buf, tr)
+	if err != nil {
 		t.Fatal(err)
 	}
 	var doc struct {
 		TraceEvents []map[string]any `json:"traceEvents"`
+		Metadata    map[string]any   `json:"metadata"`
 	}
 	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
 		t.Fatalf("exported trace is not valid JSON: %v\n%s", err, buf.String())
 	}
-	begins, ends := 0, 0
+	begins, ends, flowS, flowT, flowF := 0, 0, 0, 0, 0
 	for _, ev := range doc.TraceEvents {
 		switch ev["ph"] {
 		case "b":
 			begins++
 		case "e":
 			ends++
+		case "s":
+			flowS++
+		case "t":
+			flowT++
+		case "f":
+			flowF++
 		}
 	}
 	if begins != 2 || ends != 2 {
 		t.Fatalf("async span halves = %d/%d, want 2/2 (queued + mpi)", begins, ends)
 	}
+	// The rendezvous flow has both endpoints: issue.rdv starts it, the
+	// receiver's software rdv.fin finishes it, and the intermediate hops
+	// (deliver, cts, rdv.start, sender-NIC fin) are steps.
+	if st.FlowPairs != 1 || flowS != 1 || flowF != 1 || flowT != 4 {
+		t.Fatalf("flow events s/t/f = %d/%d/%d pairs=%d, want 1/4/1 pairs=1",
+			flowS, flowT, flowF, st.FlowPairs)
+	}
+	if st.FlowEventsDropped != 0 || st.OrphanSpanEnds != 0 {
+		t.Fatalf("unexpected drops: %+v", st)
+	}
+	if doc.Metadata["flow_pairs"] != float64(1) {
+		t.Fatalf("metadata flow_pairs = %v, want 1", doc.Metadata["flow_pairs"])
+	}
 	for _, name := range []string{"queued", "mpi", "issue.rdv", "cts", "rdv.fin",
-		"issue.eager", "issue.recv", "retransmit", "watchdog", "convert", "cmdq"} {
+		"issue.eager", "issue.recv", "deliver", "rdv.start", "retransmit",
+		"watchdog", "convert", "cmdq", "msg"} {
 		if !strings.Contains(buf.String(), `"name":"`+name+`"`) {
 			t.Errorf("exported trace missing %q events", name)
 		}
+	}
+	if !strings.Contains(buf.String(), `"elapsed_ns":1000`) ||
+		!strings.Contains(buf.String(), `"rank_end_ns":[900,950]`) {
+		t.Errorf("metadata missing run end info:\n%s", buf.String())
 	}
 }
 
@@ -154,6 +253,27 @@ func TestSummary(t *testing.T) {
 	s := Summary(tr)
 	if !strings.Contains(s, "baseline x2") || !strings.Contains(s, "ranks=2") {
 		t.Fatalf("summary missing run info: %q", s)
+	}
+	if strings.Contains(s, "WARNING") {
+		t.Fatalf("summary warns without drops: %q", s)
+	}
+}
+
+// TestSummaryWarnsOnDrops checks the per-rank ring-wraparound warning: any
+// rank that overwrote events must produce a loud per-rank WARNING line.
+func TestSummaryWarnsOnDrops(t *testing.T) {
+	tr := NewTrace(Options{RingCap: 4})
+	run := tr.StartRun("offload x2", 2)
+	for i := 1; i <= 10; i++ {
+		run.Ranks[1].CmdEnqueued(int64(i), TApp, int64(i), 1)
+	}
+	run.Ranks[0].CmdEnqueued(1, TApp, 1, 1) // under capacity: no warning
+	s := Summary(tr)
+	if !strings.Contains(s, "WARNING: run 0 rank 1 dropped 6 events") {
+		t.Fatalf("summary missing rank-1 drop warning: %q", s)
+	}
+	if strings.Contains(s, "rank 0 dropped") {
+		t.Fatalf("summary warns for rank 0 which dropped nothing: %q", s)
 	}
 }
 

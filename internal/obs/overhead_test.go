@@ -13,33 +13,50 @@ var hookSink *Recorder
 
 // TestDisabledHookOverhead proves the tentpole's overhead budget: a hook on
 // a disabled (but present) recorder must cost under 5 ns — a nil check plus
-// one atomic load. Measured by hand (not testing.Benchmark) so the whole
-// check runs in milliseconds; the minimum over several rounds discards
-// scheduler noise. Excluded under -race, whose instrumentation multiplies
-// the cost of every atomic op.
+// one atomic load. Every hook family is measured, including the flow and
+// histogram hooks, since each added argument rides the same early-out.
+// Measured by hand (not testing.Benchmark) so the whole check runs in
+// milliseconds; the minimum over several rounds discards scheduler noise.
+// Excluded under -race, whose instrumentation multiplies the cost of every
+// atomic op.
 func TestDisabledHookOverhead(t *testing.T) {
 	rec := NewRecorder(0, 8)
 	rec.on.Store(false)
 	hookSink = rec
 	defer func() { hookSink = nil }()
 
-	const iters = 2_000_000
-	best := time.Duration(1 << 62)
-	for round := 0; round < 5; round++ {
-		start := time.Now()
-		for i := 0; i < iters; i++ {
-			hookSink.Progressed(TApp)
-		}
-		if d := time.Since(start); d < best {
-			best = d
-		}
+	hooks := []struct {
+		name string
+		call func()
+	}{
+		{"Progressed", func() { hookSink.Progressed(TApp) }},
+		{"CmdEnqueued", func() { hookSink.CmdEnqueued(1, TApp, 1, 1) }},
+		{"CmdDequeued", func() { hookSink.CmdDequeued(1, 1, 0, 5) }},
+		{"CmdCompleted", func() { hookSink.CmdCompleted(1, 1, 42, 5) }},
+		{"Issued", func() { hookSink.Issued(1, TApp, EvIssueEager, 8, 1, 42) }},
+		{"Delivered", func() { hookSink.Delivered(1, 8, 1, 42, 5) }},
+		{"EagerLanded", func() { hookSink.EagerLanded(1, TApp, 8, 1, 42) }},
+		{"RdvStarted", func() { hookSink.RdvStarted(1, TApp, 8, 1, 42, 5) }},
 	}
-	nsPerOp := float64(best.Nanoseconds()) / iters
-	t.Logf("disabled hook: %.2f ns/op", nsPerOp)
-	if nsPerOp >= 5 {
-		t.Errorf("disabled hook costs %.2f ns/op, want < 5", nsPerOp)
+	const iters = 2_000_000
+	for _, h := range hooks {
+		best := time.Duration(1 << 62)
+		for round := 0; round < 5; round++ {
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				h.call()
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		nsPerOp := float64(best.Nanoseconds()) / iters
+		t.Logf("disabled %s: %.2f ns/op", h.name, nsPerOp)
+		if nsPerOp >= 5 {
+			t.Errorf("disabled %s costs %.2f ns/op, want < 5", h.name, nsPerOp)
+		}
 	}
 	if got := len(rec.Events()); got != 0 {
-		t.Fatalf("disabled hook recorded %d events", got)
+		t.Fatalf("disabled hooks recorded %d events", got)
 	}
 }

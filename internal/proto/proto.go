@@ -66,12 +66,17 @@ type Op struct {
 	Stat     Status
 	// Err is non-nil when the watchdog failed the request (ErrTimeout /
 	// ErrRankFailed wrapped with context) instead of letting it hang.
-	Err     error
-	seq     uint64  // posting order (receive matching)
-	matched bool    // receive already matched (tombstone in the queues)
-	queued  bool    // receive entered the posted queues
-	onDone  func()  // completion callback (collective schedules)
-	expires float64 // watchdog deadline (virtual ns); 0 = unwatched
+	Err error
+	// Flow is the causal flow id of the message this op carries: sends are
+	// stamped at post; receives inherit the matching sender's flow when the
+	// message lands. 0 until then (see obs.Event.Flow).
+	Flow     int64
+	postedAt int64   // virtual ns at post (rendezvous handshake RTT)
+	seq      uint64  // posting order (receive matching)
+	matched  bool    // receive already matched (tombstone in the queues)
+	queued   bool    // receive entered the posted queues
+	onDone   func()  // completion callback (collective schedules)
+	expires  float64 // watchdog deadline (virtual ns); 0 = unwatched
 }
 
 // OnDone registers a completion callback, invoking it immediately if the
@@ -121,32 +126,42 @@ type Stats struct {
 	WatchdogTrips int // requests failed by the watchdog
 }
 
-// wire payload types
+// wire payload types. Every protocol message carries the (src rank, flow
+// id) stamp of the message flow it belongs to — flow, packed as
+// (src+1)<<32|seq, see obs.Event.Flow — plus the virtual time it entered
+// the wire, so the receiving NIC can attribute transit time and the
+// exporter can draw cross-rank send→recv arrows.
 type eagerMsg struct {
-	op    *Op // sender's op (already complete; kept for diagnostics)
-	tag   int
-	comm  int
-	bytes int // wire size (>= len(data) for phantom payloads)
-	data  []byte
+	op     *Op // sender's op (already complete; kept for diagnostics)
+	tag    int
+	comm   int
+	bytes  int // wire size (>= len(data) for phantom payloads)
+	data   []byte
+	flow   int64
+	sentAt int64
 }
 
 type rtsMsg struct {
-	op    *Op // sender's op, to be CTS'd back
-	tag   int
-	comm  int
-	bytes int
-	bwDiv float64
+	op     *Op // sender's op, to be CTS'd back
+	tag    int
+	comm   int
+	bytes  int
+	bwDiv  float64
+	flow   int64
+	sentAt int64
 }
 
 type ctsMsg struct {
 	sendOp *Op
 	recvOp *Op
 	bwDiv  float64
+	sentAt int64
 }
 
 type rdvData struct {
 	sendOp *Op
 	recvOp *Op
+	sentAt int64
 }
 
 // uxEntry is an arrived-but-unmatched message (eager payload or RTS).
@@ -158,6 +173,7 @@ type uxEntry struct {
 	data     []byte // eager payload; nil for an RTS
 	sendOp   *Op    // RTS only
 	bwDiv    float64
+	flow     int64
 	seq      uint64
 	consumed bool
 }
@@ -191,9 +207,12 @@ type Engine struct {
 	// atomic load.
 	Obs *obs.Recorder
 	// obsTID is the thread class of the most recent classified entry into
-	// the engine (Progress); handle() events inherit it, since packets are
-	// processed on whichever thread drives progress.
+	// the engine (Progress, IsendN, IrecvN); handle() events inherit it,
+	// since packets are processed on whichever thread drives progress.
 	obsTID uint8
+	// flowSeq numbers this rank's outgoing message flows; flow ids are
+	// (Rank+1)<<32 | flowSeq so they are globally unique and never 0.
+	flowSeq int64
 
 	activity *vclock.Event
 	actSeq   uint64
@@ -266,6 +285,42 @@ func NewEngine(k *vclock.Kernel, f *fabric.Fabric, p *model.Profile, rank int) *
 // Stats returns the engine's protocol counters.
 func (e *Engine) Stats() Stats { return e.stats }
 
+// newFlow allocates the next causal flow id originating at this rank.
+func (e *Engine) newFlow() int64 {
+	e.flowSeq++
+	return int64(e.Rank+1)<<32 | e.flowSeq
+}
+
+// flowOfPayload extracts the flow stamp (and wire-entry time) from a
+// protocol payload; (0, 0) for unstamped payload classes (acks, RMA).
+func flowOfPayload(p any) (flow, sentAt int64) {
+	switch m := p.(type) {
+	case *eagerMsg:
+		return m.flow, m.sentAt
+	case *rtsMsg:
+		return m.flow, m.sentAt
+	case *ctsMsg:
+		return m.sendOp.Flow, m.sentAt
+	case rdvData:
+		return m.sendOp.Flow, m.sentAt
+	}
+	return 0, 0
+}
+
+// noteDelivered records a flow-stamped packet reaching this rank's NIC,
+// attributing its wire transit time (delivery-callback context).
+func (e *Engine) noteDelivered(pkt *fabric.Packet) {
+	if !e.Obs.Enabled() {
+		return
+	}
+	flow, sentAt := flowOfPayload(pkt.Payload)
+	if flow == 0 {
+		return
+	}
+	now := e.K.Now()
+	e.Obs.Delivered(now, pkt.Bytes, pkt.Src, flow, now-sentAt)
+}
+
 // deliver runs in NIC (timer-callback) context: enqueue and kick waiters.
 // Rendezvous data is special-cased: the RDMA write lands in the user buffer
 // and the *sender* learns of completion from its own NIC without any
@@ -286,13 +341,14 @@ func (e *Engine) deliver(pkt *fabric.Packet) {
 		}
 		// The sender learns of the transfer's completion from its own NIC.
 		if se := d.sendOp.Eng; se.Obs.Enabled() {
-			se.Obs.RdvDone(se.K.Now(), obs.TNIC, pkt.Bytes, pkt.Dst)
+			se.Obs.RdvDone(se.K.Now(), obs.TNIC, pkt.Bytes, pkt.Dst, d.sendOp.Flow)
 		}
 		d.sendOp.Eng.completeOp(d.sendOp, Status{})
 	}
 	if needsSW, handled := e.deliverRMA(pkt.Payload); handled && !needsSW {
 		return // pure RDMA: no software involvement at this rank
 	}
+	e.noteDelivered(pkt)
 	e.inbox = append(e.inbox, pkt)
 	e.bump()
 }
@@ -363,14 +419,10 @@ func (e *Engine) IsendBW(t *vclock.Task, buf []byte, dst, tag, comm int, bwDiv f
 // full protocol and network timing of huge messages without allocating
 // them; only len(buf) real bytes are carried.
 func (e *Engine) IsendN(t *vclock.Task, buf []byte, n, dst, tag, comm int, bwDiv float64) *Op {
-	op, cost := e.IsendNCost(buf, n, dst, tag, comm, bwDiv)
 	if e.Obs.Enabled() {
-		kind := obs.EvIssueRdv
-		if e.P.Eager(n) {
-			kind = obs.EvIssueEager
-		}
-		e.Obs.Issued(t.Now(), obs.TaskClass(t.Name), kind, n, dst)
+		e.obsTID = obs.TaskClass(t.Name)
 	}
+	op, cost := e.IsendNCost(buf, n, dst, tag, comm, bwDiv)
 	t.SleepF(cost)
 	return op
 }
@@ -384,19 +436,30 @@ func (e *Engine) IsendNCost(buf []byte, n, dst, tag, comm int, bwDiv float64) (*
 		panic("proto: wire size smaller than payload")
 	}
 	op := &Op{Eng: e, IsSend: true, Peer: dst, Tag: tag, Comm: comm, Buf: buf, Bytes: n}
+	op.Flow = e.newFlow()
+	now := e.K.Now()
+	op.postedAt = now
 	if e.P.Eager(n) {
 		// Eager: copy into an internal buffer inside the call; the send
 		// buffer is immediately reusable, so the op completes at post.
 		e.stats.EagerSends++
+		if e.Obs.Enabled() {
+			e.Obs.Issued(now, e.obsTID, obs.EvIssueEager, n, dst, op.Flow)
+		}
 		data := make([]byte, len(buf))
 		copy(data, buf)
-		e.sendRel(dst, n, bwDiv, &eagerMsg{op: op, tag: tag, comm: comm, bytes: n, data: data})
+		e.sendRel(dst, n, bwDiv, &eagerMsg{op: op, tag: tag, comm: comm, bytes: n, data: data,
+			flow: op.Flow, sentAt: now})
 		e.completeOp(op, Status{})
 		return op, e.P.CallOverhead + e.P.CopyTime(n)
 	}
 	// Rendezvous: emit RTS only; data moves after the CTS round trip.
 	e.stats.RdvSends++
-	e.sendRel(dst, ctlBytes, 1, &rtsMsg{op: op, tag: tag, comm: comm, bytes: n, bwDiv: bwDiv})
+	if e.Obs.Enabled() {
+		e.Obs.Issued(now, e.obsTID, obs.EvIssueRdv, n, dst, op.Flow)
+	}
+	e.sendRel(dst, ctlBytes, 1, &rtsMsg{op: op, tag: tag, comm: comm, bytes: n, bwDiv: bwDiv,
+		flow: op.Flow, sentAt: now})
 	e.watchOp(op)
 	return op, e.P.CallOverhead + e.P.RTSCost
 }
@@ -409,10 +472,10 @@ func (e *Engine) Irecv(t *vclock.Task, buf []byte, src, tag, comm int) *Op {
 // IrecvN posts a nonblocking receive with declared capacity n >= len(buf)
 // (the phantom counterpart of IsendN).
 func (e *Engine) IrecvN(t *vclock.Task, buf []byte, n, src, tag, comm int) *Op {
-	op, cost := e.IrecvNCost(buf, n, src, tag, comm)
 	if e.Obs.Enabled() {
-		e.Obs.Issued(t.Now(), obs.TaskClass(t.Name), obs.EvIssueRecv, n, src)
+		e.obsTID = obs.TaskClass(t.Name)
 	}
+	op, cost := e.IrecvNCost(buf, n, src, tag, comm)
 	t.SleepF(cost)
 	return op
 }
@@ -424,6 +487,9 @@ func (e *Engine) IrecvNCost(buf []byte, n, src, tag, comm int) (*Op, float64) {
 	}
 	op := &Op{Eng: e, Peer: src, Tag: tag, Comm: comm, Buf: buf, Bytes: n}
 	e.stats.Recvs++
+	if e.Obs.Enabled() {
+		e.Obs.Issued(e.K.Now(), e.obsTID, obs.EvIssueRecv, n, src, 0)
+	}
 	cost := e.P.CallOverhead
 
 	// Try the unexpected queue first.
@@ -434,11 +500,20 @@ func (e *Engine) IrecvNCost(buf []byte, n, src, tag, comm int) (*Op, float64) {
 		if ux.sendOp == nil {
 			// Eager payload already here: copy out and complete.
 			copyChecked(op, ux.data, ux.bytes, ux.src)
+			op.Flow = ux.flow
+			if e.Obs.Enabled() {
+				e.Obs.EagerLanded(e.K.Now(), e.obsTID, ux.bytes, ux.src, ux.flow)
+			}
 			e.completeOp(op, Status{Source: ux.src, Tag: ux.tag, Count: ux.bytes})
 			return op, cost + e.P.CopyTime(ux.bytes)
 		}
 		// RTS waiting: answer CTS; data will arrive asynchronously.
-		e.sendRel(ux.src, ctlBytes, 1, &ctsMsg{sendOp: ux.sendOp, recvOp: op, bwDiv: ux.bwDiv})
+		op.Flow = ux.flow
+		e.sendRel(ux.src, ctlBytes, 1, &ctsMsg{sendOp: ux.sendOp, recvOp: op, bwDiv: ux.bwDiv,
+			sentAt: e.K.Now()})
+		if e.Obs.Enabled() {
+			e.Obs.CtsAnswered(e.K.Now(), e.obsTID, ux.bytes, ux.src, ux.flow)
+		}
 		e.watchOp(op)
 		return op, cost + e.P.RTSCost
 	}
@@ -589,25 +664,32 @@ func (e *Engine) handle(pkt *fabric.Packet) float64 {
 		if op != nil {
 			cost += e.P.CopyTime(m.bytes)
 			copyChecked(op, m.data, m.bytes, pkt.Src)
+			op.Flow = m.flow
+			if e.Obs.Enabled() {
+				e.Obs.EagerLanded(e.K.Now(), e.obsTID, m.bytes, pkt.Src, m.flow)
+			}
 			e.completeOp(op, Status{Source: pkt.Src, Tag: m.tag, Count: m.bytes})
 			return cost
 		}
 		e.addUnexpected(&uxEntry{
-			src: pkt.Src, tag: m.tag, comm: m.comm, bytes: m.bytes, data: m.data,
+			src: pkt.Src, tag: m.tag, comm: m.comm, bytes: m.bytes, data: m.data, flow: m.flow,
 		})
 		return cost
 	case *rtsMsg:
 		op, cost := e.matchPosted(pkt.Src, m.tag, m.comm)
 		if op != nil {
 			cost += e.P.RTSCost
-			e.sendRel(pkt.Src, ctlBytes, 1, &ctsMsg{sendOp: m.op, recvOp: op, bwDiv: m.bwDiv})
+			op.Flow = m.flow
+			e.sendRel(pkt.Src, ctlBytes, 1, &ctsMsg{sendOp: m.op, recvOp: op, bwDiv: m.bwDiv,
+				sentAt: e.K.Now()})
 			if e.Obs.Enabled() {
-				e.Obs.CtsAnswered(e.K.Now(), e.obsTID, m.bytes, pkt.Src)
+				e.Obs.CtsAnswered(e.K.Now(), e.obsTID, m.bytes, pkt.Src, m.flow)
 			}
 			return cost
 		}
 		e.addUnexpected(&uxEntry{
 			src: pkt.Src, tag: m.tag, comm: m.comm, bytes: m.bytes, sendOp: m.op, bwDiv: m.bwDiv,
+			flow: m.flow,
 		})
 		return cost
 	case *ctsMsg:
@@ -617,13 +699,20 @@ func (e *Engine) handle(pkt *fabric.Packet) float64 {
 		if m.sendOp.complete && m.sendOp.Err != nil {
 			return e.P.MatchCost
 		}
-		e.F.Send(e.Rank, m.recvOp.Eng.Rank, m.sendOp.Bytes, m.bwDiv, rdvData{sendOp: m.sendOp, recvOp: m.recvOp})
+		now := e.K.Now()
+		if e.Obs.Enabled() {
+			e.Obs.RdvStarted(now, e.obsTID, m.sendOp.Bytes, m.recvOp.Eng.Rank,
+				m.sendOp.Flow, now-m.sendOp.postedAt)
+		}
+		e.F.Send(e.Rank, m.recvOp.Eng.Rank, m.sendOp.Bytes, m.bwDiv,
+			rdvData{sendOp: m.sendOp, recvOp: m.recvOp, sentAt: now})
 		return e.P.RTSCost
 	case rdvData:
 		// Data landed in the user buffer at delivery time (RDMA); here the
 		// receiver's software merely notices the completion-queue entry.
+		m.recvOp.Flow = m.sendOp.Flow
 		if e.Obs.Enabled() {
-			e.Obs.RdvDone(e.K.Now(), e.obsTID, pkt.Bytes, pkt.Src)
+			e.Obs.RdvDone(e.K.Now(), e.obsTID, pkt.Bytes, pkt.Src, m.sendOp.Flow)
 		}
 		e.completeOp(m.recvOp, Status{Source: pkt.Src, Tag: m.recvOp.Tag, Count: pkt.Bytes})
 		return e.P.MatchCost

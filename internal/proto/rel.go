@@ -206,8 +206,12 @@ func (e *Engine) relDeliver(src int, m *relMsg) {
 	}
 }
 
-// acceptRel hands an in-order unwrapped packet to the normal delivery path.
+// acceptRel hands an in-order unwrapped packet to the normal delivery
+// path. The flow delivery stamp is recorded here — on the unwrapped
+// payload, after dedup/reorder — so transit time under loss includes the
+// retransmission delay the message actually suffered.
 func (e *Engine) acceptRel(pkt *fabric.Packet) {
+	e.noteDelivered(pkt)
 	e.inbox = append(e.inbox, pkt)
 	e.bump()
 }

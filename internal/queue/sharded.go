@@ -45,6 +45,7 @@ type Sharded[T any] struct {
 	_        pad
 	hwm      atomic.Int64 // pending high-water mark, sampled by the consumer
 	cursor   int          // consumer round-robin position (consumer-owned)
+	depthFn  func(int64)  // optional consumer-side depth sampler
 }
 
 // NewSharded returns a queue with shardCount private SPSC shards of
@@ -131,6 +132,9 @@ func (q *Sharded[T]) DequeueBatch(dst []T) int {
 	if p > q.hwm.Load() {
 		q.hwm.Store(p)
 	}
+	if q.depthFn != nil {
+		q.depthFn(p)
+	}
 	// The doorbell bounds the scan: once `want` elements are in hand there
 	// is no point finishing the rotation just to observe empty shards (new
 	// arrivals are picked up next wakeup).
@@ -178,3 +182,10 @@ func (q *Sharded[T]) Empty() bool { return q.Len() == 0 }
 // HighWater reports the deepest the queue has been observed (total pending
 // across shards, sampled at each consumer drain) since creation.
 func (q *Sharded[T]) HighWater() int { return int(q.hwm.Load()) }
+
+// SetDepthSampler installs a consumer-side depth sampler, invoked with the
+// pending count at each non-empty drain (the same point the high-water
+// mark is sampled). The observability layer feeds it into a depth
+// histogram. Install before the consumer starts; nil disables. Producers
+// pay nothing for it.
+func (q *Sharded[T]) SetDepthSampler(fn func(depth int64)) { q.depthFn = fn }

@@ -34,6 +34,7 @@ type Pool struct {
 	size  int
 	inUse atomic.Int64 // slots currently allocated
 	hwm   atomic.Int64 // occupancy high-water mark
+	occFn func(int64)  // optional occupancy sampler, invoked on each Get
 }
 
 // New returns a pool with n slots, all free.
@@ -89,6 +90,9 @@ func (p *Pool) Get() int {
 					break
 				}
 			}
+			if p.occFn != nil {
+				p.occFn(n)
+			}
 			return idx
 		}
 	}
@@ -116,6 +120,13 @@ func (p *Pool) InUse() int { return int(p.inUse.Load()) }
 
 // HighWater reports the peak number of simultaneously allocated slots.
 func (p *Pool) HighWater() int { return int(p.hwm.Load()) }
+
+// SetOccupancySampler installs an occupancy sampler, invoked with the
+// allocated-slot count after each successful Get. The observability layer
+// feeds it into an occupancy histogram. Install before traffic; nil
+// disables. The sampler must be safe for concurrent callers (Get is
+// lock-free and multi-threaded).
+func (p *Pool) SetOccupancySampler(fn func(inUse int64)) { p.occFn = fn }
 
 // SetDone marks the slot's operation complete (offload-thread side).
 func (p *Pool) SetDone(idx int) { p.done[idx].Store(1) }

@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mpioffload/internal/obs"
 	"mpioffload/internal/queue"
 	"mpioffload/internal/reqpool"
 )
@@ -113,6 +114,11 @@ type Rank struct {
 	Sends, Recvs, Progress atomic.Int64
 	// WatchdogTrips counts WaitErr deadline expirations on this rank.
 	WatchdogTrips atomic.Int64
+
+	// Wall-clock latency histograms for the offload path, collected only
+	// while Cluster.SetStatsEnabled(true): queue-wait (enqueue→dequeue) and
+	// offload service (dequeue→operation done). Concurrent-safe.
+	qwaitH, serviceH obs.AtomicHist
 }
 
 type cmdKind int
@@ -123,11 +129,12 @@ const (
 )
 
 type cmd struct {
-	kind cmdKind
-	slot int
-	peer int
-	tag  int
-	buf  []byte
+	kind  cmdKind
+	slot  int
+	peer  int
+	tag   int
+	buf   []byte
+	enqNs int64 // wall-clock enqueue stamp; 0 unless stats are enabled
 }
 
 // Options tunes a cluster's offload submission path. The zero value
@@ -148,8 +155,49 @@ type Cluster struct {
 	mode     Mode
 	batchMax int
 	wdNs     atomic.Int64 // WaitErr deadline (wall-clock ns); 0 = no deadline
+	statsOn  atomic.Bool  // latency-histogram collection gate
 	wg       sync.WaitGroup
 	closed   atomic.Bool
+}
+
+// SetStatsEnabled toggles wall-clock latency-histogram collection on the
+// offload path. Off (the default) the hot path pays one atomic load and
+// never calls time.Now; on, every offloaded command records its queue-wait
+// and service time. Safe to toggle concurrently with traffic.
+func (c *Cluster) SetStatsEnabled(on bool) { c.statsOn.Store(on) }
+
+// RankStats is a point-in-time snapshot of one rank's counters and, when
+// stats collection was enabled, its wall-clock latency histograms (ns).
+type RankStats struct {
+	Sends, Recvs, Progress, WatchdogTrips int64
+	QueueWait, Service                    obs.Hist
+}
+
+// Stats snapshots the rank's counters and histograms.
+func (r *Rank) Stats() RankStats {
+	return RankStats{
+		Sends:         r.Sends.Load(),
+		Recvs:         r.Recvs.Load(),
+		Progress:      r.Progress.Load(),
+		WatchdogTrips: r.WatchdogTrips.Load(),
+		QueueWait:     r.qwaitH.Snapshot(),
+		Service:       r.serviceH.Snapshot(),
+	}
+}
+
+// Stats aggregates every rank's snapshot (histograms merged).
+func (c *Cluster) Stats() RankStats {
+	var s RankStats
+	for _, r := range c.ranks {
+		rs := r.Stats()
+		s.Sends += rs.Sends
+		s.Recvs += rs.Recvs
+		s.Progress += rs.Progress
+		s.WatchdogTrips += rs.WatchdogTrips
+		s.QueueWait.Add(rs.QueueWait)
+		s.Service.Add(rs.Service)
+	}
+	return s
 }
 
 // SetWatchdog bounds every subsequent WaitErr by d of wall-clock time
@@ -277,7 +325,11 @@ func (r *Rank) isend(shard int, buf []byte, dst, tag int) Handle {
 	r.Sends.Add(1)
 	if r.mode == Offload {
 		data := append([]byte(nil), buf...) // serialize into the command
-		for !r.cq.TryEnqueue(shard, cmd{kind: cmdSend, slot: slot, peer: dst, tag: tag, buf: data}) {
+		c := cmd{kind: cmdSend, slot: slot, peer: dst, tag: tag, buf: data}
+		if r.cluster.statsOn.Load() {
+			c.enqNs = time.Now().UnixNano()
+		}
+		for !r.cq.TryEnqueue(shard, c) {
 			runtime.Gosched()
 		}
 		return Handle(slot)
@@ -297,7 +349,11 @@ func (r *Rank) irecv(shard int, buf []byte, src, tag int) Handle {
 	slot := r.getSlot()
 	r.Recvs.Add(1)
 	if r.mode == Offload {
-		for !r.cq.TryEnqueue(shard, cmd{kind: cmdRecv, slot: slot, peer: src, tag: tag, buf: buf}) {
+		c := cmd{kind: cmdRecv, slot: slot, peer: src, tag: tag, buf: buf}
+		if r.cluster.statsOn.Load() {
+			c.enqNs = time.Now().UnixNano()
+		}
+		for !r.cq.TryEnqueue(shard, c) {
 			runtime.Gosched()
 		}
 		return Handle(slot)
@@ -480,11 +536,19 @@ func (r *Rank) offloadLoop() {
 		n := r.cq.DequeueBatch(batch)
 		for i := range batch[:n] {
 			c := &batch[i]
+			var startNs int64
+			if c.enqNs != 0 {
+				startNs = time.Now().UnixNano()
+				r.qwaitH.Observe(startNs - c.enqNs)
+			}
 			switch c.kind {
 			case cmdSend:
 				r.doSend(c.slot, c.peer, c.tag, c.buf)
 			case cmdRecv:
 				r.doRecv(c.slot, c.peer, c.tag, c.buf)
+			}
+			if startNs != 0 {
+				r.serviceH.Observe(time.Now().UnixNano() - startNs)
 			}
 			c.buf = nil // release the payload reference
 		}

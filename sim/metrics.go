@@ -47,6 +47,21 @@ type Metrics struct {
 
 	// Tracer accounting.
 	Events, EventsDropped int64
+
+	// Causal-flow accounting: messages stamped with a flow id on issue and
+	// flows observed landing (requires Config.Trace).
+	FlowsSent, FlowsLanded int64
+
+	// Per-op latency decomposition (log2-bucketed histograms, virtual ns;
+	// requires Config.Trace): queue-wait (cmd enqueue→dequeue), offload
+	// service (dequeue→complete), network transit (wire send→NIC delivery)
+	// and rendezvous-handshake round trip (RTS post→CTS processed).
+	QueueWaitH, ServiceH, TransitH, RdvRttH obs.Hist
+
+	// Depth distributions sampled inside the lock-free structures (always
+	// on): command-queue depth at each consumer drain, and request-pool
+	// occupancy at each Get.
+	CmdQDepthH, PoolOccH obs.Hist
 }
 
 // Add accumulates o into m (high-water marks take the max, everything else
@@ -82,6 +97,14 @@ func (m *Metrics) Add(o Metrics) {
 	m.WatchdogTrips += o.WatchdogTrips
 	m.Events += o.Events
 	m.EventsDropped += o.EventsDropped
+	m.FlowsSent += o.FlowsSent
+	m.FlowsLanded += o.FlowsLanded
+	m.QueueWaitH.Add(o.QueueWaitH)
+	m.ServiceH.Add(o.ServiceH)
+	m.TransitH.Add(o.TransitH)
+	m.RdvRttH.Add(o.RdvRttH)
+	m.CmdQDepthH.Add(o.CmdQDepthH)
+	m.PoolOccH.Add(o.PoolOccH)
 }
 
 // DutyCycle splits the offload thread's time into issue/progress/idle
@@ -133,6 +156,8 @@ func rankMetricsOf(eng *proto.Engine, off *core.Offloader) Metrics {
 		m.Completed = off.Completed.Load()
 		m.CmdQueueHWM = int64(off.QueueHighWater())
 		m.ReqPoolHWM = int64(off.PoolHighWater())
+		m.CmdQDepthH = off.QDepthH.Snapshot()
+		m.PoolOccH = off.PoolOccH.Snapshot()
 	}
 	rm := eng.Obs.Metrics() // zero when no recorder is attached
 	m.IssueNs = rm.IssueNs
@@ -148,6 +173,12 @@ func rankMetricsOf(eng *proto.Engine, off *core.Offloader) Metrics {
 	m.Conversions = rm.Conversions
 	m.Events = rm.Events
 	m.EventsDropped = rm.EventsDropped
+	m.FlowsSent = rm.FlowsSent
+	m.FlowsLanded = rm.FlowsLanded
+	m.QueueWaitH = rm.QueueWaitH
+	m.ServiceH = rm.ServiceH
+	m.TransitH = rm.TransitH
+	m.RdvRttH = rm.RdvRttH
 	return m
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"mpioffload/internal/fault"
 	"mpioffload/internal/obs"
+	"mpioffload/internal/obs/critpath"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite golden files")
@@ -310,5 +311,144 @@ func TestPingPongPayloadsWithTrace(t *testing.T) {
 	traced := latencyRun(Offload, 4<<10, 10, obs.NewTrace(obs.Options{}))
 	if plain.Elapsed != traced.Elapsed {
 		t.Fatalf("tracing changed virtual time: %d vs %d", plain.Elapsed, traced.Elapsed)
+	}
+}
+
+// TestFlowPairsCoverEveryMessage checks the causal-correlation acceptance
+// criterion: in a rendezvous-sized exchange, every flow-stamped message
+// must appear in the export as a matched ph:"s"/ph:"f" pair, with nothing
+// dropped.
+func TestFlowPairsCoverEveryMessage(t *testing.T) {
+	for _, a := range []Approach{Baseline, Offload} {
+		t.Run(a.String(), func(t *testing.T) {
+			tr := obs.NewTrace(obs.Options{})
+			res := latencyRun(a, 256<<10, 4, tr) // > eager limit: RTS/CTS path
+			m := res.Metrics
+			if m.RdvSends == 0 {
+				t.Fatalf("no rendezvous traffic: %+v", m)
+			}
+			if m.FlowsSent == 0 || m.FlowsSent != m.FlowsLanded {
+				t.Fatalf("flows sent=%d landed=%d, want equal and nonzero",
+					m.FlowsSent, m.FlowsLanded)
+			}
+			var out bytes.Buffer
+			st, err := obs.WriteChromeStats(&out, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int64(st.FlowPairs) != m.FlowsSent {
+				t.Fatalf("export matched %d flow pairs, want one per message (%d)",
+					st.FlowPairs, m.FlowsSent)
+			}
+			if st.FlowEventsDropped != 0 || st.OrphanSpanEnds != 0 {
+				t.Fatalf("unexpected drops with an ample ring: %+v", st)
+			}
+		})
+	}
+}
+
+// TestLatencyHistogramsPopulated checks the per-layer histograms surface
+// through sim.Metrics: queue-wait and service for offloaded commands,
+// transit for every flow, handshake RTT for rendezvous, plus the always-on
+// depth distributions.
+func TestLatencyHistogramsPopulated(t *testing.T) {
+	tr := obs.NewTrace(obs.Options{})
+	m := latencyRun(Offload, 256<<10, 4, tr).Metrics
+	if m.QueueWaitH.Count != m.Submitted {
+		t.Errorf("queue-wait samples %d != commands %d", m.QueueWaitH.Count, m.Submitted)
+	}
+	if m.ServiceH.Count != m.Completed {
+		t.Errorf("service samples %d != completions %d", m.ServiceH.Count, m.Completed)
+	}
+	if m.TransitH.Count == 0 || m.TransitH.P50() <= 0 {
+		t.Errorf("transit histogram empty: %s", m.TransitH.String())
+	}
+	if m.RdvRttH.Count == 0 || m.RdvRttH.P50() <= 0 {
+		t.Errorf("rendezvous-RTT histogram empty: %s", m.RdvRttH.String())
+	}
+	if m.CmdQDepthH.Count == 0 || m.PoolOccH.Count == 0 {
+		t.Errorf("depth distributions empty: q=%s pool=%s",
+			m.CmdQDepthH.String(), m.PoolOccH.String())
+	}
+	if m.QueueWaitH.P99() < m.QueueWaitH.P50() || m.QueueWaitH.Max < m.QueueWaitH.P99() {
+		t.Errorf("queue-wait quantiles inverted: %s", m.QueueWaitH.String())
+	}
+	// Without a trace the latency histograms stay empty but the structural
+	// depth samplers keep working.
+	m2 := latencyRun(Offload, 256<<10, 4, nil).Metrics
+	if m2.QueueWaitH.Count != 0 || m2.TransitH.Count != 0 {
+		t.Errorf("latency histograms populated without a trace")
+	}
+	if m2.CmdQDepthH.Count == 0 {
+		t.Errorf("depth distribution empty without a trace")
+	}
+}
+
+// TestCriticalPathPartition checks the tentpole acceptance criterion: for a
+// seeded 2-rank rendezvous run, the critical-path attribution must sum to
+// the run's elapsed virtual time exactly (±0), for every approach, and be
+// byte-deterministic across repeated analyses and repeated runs.
+func TestCriticalPathPartition(t *testing.T) {
+	for _, a := range []Approach{Baseline, Iprobe, CommSelf, Offload} {
+		t.Run(a.String(), func(t *testing.T) {
+			tr := obs.NewTrace(obs.Options{})
+			res := latencyRun(a, 256<<10, 4, tr)
+			reports := critpath.Analyze(tr)
+			if len(reports) != 1 {
+				t.Fatalf("got %d reports, want 1", len(reports))
+			}
+			rep := reports[0]
+			if rep.Total != int64(res.Elapsed) {
+				t.Fatalf("report total %d != run elapsed %d", rep.Total, res.Elapsed)
+			}
+			if rep.Sum() != rep.Total {
+				t.Fatalf("attribution sums to %d, elapsed is %d (must be exact)\n%s",
+					rep.Sum(), rep.Total, rep.Table())
+			}
+			if rep.Ns[critpath.Network] == 0 {
+				t.Errorf("no network time on the critical path of a ping-pong\n%s", rep.Table())
+			}
+			if a == Offload && rep.Ns[critpath.QueueWait]+rep.Ns[critpath.Service] == 0 {
+				t.Errorf("offload run shows no queue/service time\n%s", rep.Table())
+			}
+
+			// Determinism: re-analysis and a re-run must render identically.
+			if again := critpath.Analyze(tr)[0].Table(); again != rep.Table() {
+				t.Fatalf("re-analysis differs:\n%s\nvs\n%s", rep.Table(), again)
+			}
+			tr2 := obs.NewTrace(obs.Options{})
+			latencyRun(a, 256<<10, 4, tr2)
+			if rerun := critpath.Analyze(tr2)[0].Table(); rerun != rep.Table() {
+				t.Fatalf("re-run analysis differs:\n%s\nvs\n%s", rep.Table(), rerun)
+			}
+		})
+	}
+}
+
+// TestCriticalPathOfflineMatchesInMemory round-trips a real simulation
+// trace through the Chrome exporter and cmd/tracetool's reader: the offline
+// analysis must equal the in-memory one report-for-report.
+func TestCriticalPathOfflineMatchesInMemory(t *testing.T) {
+	tr := obs.NewTrace(obs.Options{})
+	latencyRun(Offload, 256<<10, 4, tr)
+	inMem := critpath.Analyze(tr)
+
+	var out bytes.Buffer
+	if err := obs.WriteChrome(&out, tr); err != nil {
+		t.Fatal(err)
+	}
+	runs, err := critpath.ReadChrome(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != len(inMem) {
+		t.Fatalf("offline found %d runs, in-memory %d", len(runs), len(inMem))
+	}
+	for i, rd := range runs {
+		off := critpath.AnalyzeRun(rd)
+		if off.Table() != inMem[i].Table() {
+			t.Fatalf("run %d: offline analysis differs\noffline:\n%s\nin-memory:\n%s",
+				i, off.Table(), inMem[i].Table())
+		}
 	}
 }

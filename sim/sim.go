@@ -418,6 +418,11 @@ func Run(cfg Config, program func(env *Env)) Result {
 		for r, rec := range runTrace.Ranks {
 			res.RankObs[r] = rec.Metrics()
 		}
+		ends := make([]int64, n)
+		for r, t := range res.RankElapsed {
+			ends[r] = int64(t)
+		}
+		runTrace.SetEnd(int64(res.Elapsed), ends)
 	}
 	return res
 }
