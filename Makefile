@@ -13,13 +13,18 @@
 #   make critpath-smoke  tiny traced osubench run piped through cmd/tracetool
 #                     -check: fails unless every run's critical-path
 #                     attribution sums exactly to its elapsed virtual time.
+#   make topo-smoke   reduced topology sweep (cmd/topobench) whose output must
+#                     pass the topo/v1 validator — including the claim that
+#                     the hierarchical allreduce beats the flat ring at
+#                     >= 1 MiB on the 2:1-oversubscribed fat-tree.
 #   make mtscale      full sweep, regenerates BENCH_mtscale.json in place.
+#   make topo         full sweep, regenerates BENCH_topo.json in place.
 
 GO ?= go
 
-.PHONY: ci vet build test race bench-smoke critpath-smoke mtscale
+.PHONY: ci vet build test race bench-smoke critpath-smoke topo-smoke mtscale topo
 
-ci: vet build test race bench-smoke critpath-smoke
+ci: vet build test race bench-smoke critpath-smoke topo-smoke
 
 vet:
 	$(GO) vet ./...
@@ -41,6 +46,14 @@ critpath-smoke:
 	$(GO) run ./cmd/osubench -test=latency -iters 2 -approaches offload -trace /tmp/critpath_smoke.json > /dev/null
 	$(GO) run ./cmd/tracetool -check /tmp/critpath_smoke.json
 
+topo-smoke:
+	$(GO) run ./cmd/topobench -iters 1 -out /tmp/topo_smoke.json > /dev/null
+	$(GO) run ./cmd/topobench -validate /tmp/topo_smoke.json
+
 mtscale:
 	$(GO) run ./cmd/mtbench -mtscale -out BENCH_mtscale.json
 	$(GO) run ./cmd/mtbench -validate BENCH_mtscale.json
+
+topo:
+	$(GO) run ./cmd/topobench -out BENCH_topo.json
+	$(GO) run ./cmd/topobench -validate BENCH_topo.json

@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"mpioffload/mpi"
+	"mpioffload/sim"
+)
+
+// TopoCollResult is one (topology, algorithm, size) cell of the topology
+// sweep: mean virtual time per allreduce, plus a contention summary of the
+// busiest topology link (all zero under the flat topology, where
+// contention is the analytic closed form rather than per-link queueing).
+type TopoCollResult struct {
+	Topo         string  `json:"topo"`
+	Algo         string  `json:"algo"`
+	Bytes        int     `json:"bytes"`
+	Nodes        int     `json:"nodes"`
+	RanksPerNode int     `json:"ranks_per_node"`
+	MeanNs       float64 `json:"mean_ns"`
+	// MaxLinkUtil is the busiest link's serialization share of the run
+	// (BusyNs / elapsed); MaxLinkWaitNs the largest total queueing delay
+	// accumulated behind any one link; MaxQueue the deepest in-flight
+	// backlog any link reached.
+	MaxLinkUtil   float64 `json:"max_link_util"`
+	MaxLinkWaitNs float64 `json:"max_link_wait_ns"`
+	MaxQueue      int     `json:"max_queue"`
+}
+
+// TopoAllreduce measures one allreduce algorithm over one topology: every
+// rank allreduces a size-byte buffer iters times (one untimed warm-up
+// first), and the mean per-iteration virtual time is taken between
+// barriers. algo selects "ring" (flat bandwidth-optimal), "hier"
+// (topology-aware hierarchical) or "auto" (Iallreduce's own selection).
+func TopoAllreduce(cfg sim.Config, ranks int, algo string, size, iters int) TopoCollResult {
+	res := TopoCollResult{
+		Algo:  algo,
+		Bytes: size,
+	}
+	var startNs, endNs float64
+	r := sim.Run(withRanks(cfg, ranks), func(env *sim.Env) {
+		c := env.World
+		buf := make([]byte, size)
+		one := func() {
+			var r mpi.Request
+			switch algo {
+			case "ring":
+				r = c.IallreduceRing(buf, mpi.SumFloat64)
+			case "hier":
+				r = c.IallreduceHier(buf, mpi.SumFloat64)
+			default:
+				r = c.Iallreduce(buf, mpi.SumFloat64)
+			}
+			c.Wait(&r)
+		}
+		one() // warm-up: populates match lists and link clocks
+		c.Barrier()
+		t0 := env.Now()
+		for i := 0; i < iters; i++ {
+			one()
+		}
+		c.Barrier()
+		if env.Rank() == 0 {
+			startNs, endNs = float64(t0), float64(env.Now())
+		}
+	})
+	res.Nodes = (ranks + cfg.Profile.RanksPerNode - 1) / cfg.Profile.RanksPerNode
+	res.RanksPerNode = cfg.Profile.RanksPerNode
+	res.MeanNs = (endNs - startNs) / float64(iters)
+	for _, l := range r.Metrics.Links {
+		if u := l.BusyNs / float64(r.Elapsed); u > res.MaxLinkUtil {
+			res.MaxLinkUtil = u
+		}
+		if l.WaitNs > res.MaxLinkWaitNs {
+			res.MaxLinkWaitNs = l.WaitNs
+		}
+		if l.MaxQueue > res.MaxQueue {
+			res.MaxQueue = l.MaxQueue
+		}
+	}
+	return res
+}
+
+// withRanks returns cfg with the rank count set.
+func withRanks(cfg sim.Config, ranks int) sim.Config {
+	cfg.Ranks = ranks
+	return cfg
+}

@@ -13,13 +13,22 @@ import (
 	"mpioffload/apps/cnn"
 	"mpioffload/bench"
 	"mpioffload/internal/model"
+	"mpioffload/internal/topo"
 	"mpioffload/sim"
 )
 
 func main() {
 	iters := flag.Int("iters", 3, "measured iterations")
 	csv := flag.Bool("csv", false, "emit CSV")
+	topoFlag := flag.String("topo", "flat",
+		"network topology (flat, fattree[:arity=A,oversub=O], dragonfly[:group=G], custom:map=N.N...)")
 	flag.Parse()
+
+	spec, err := topo.Parse(*topoFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cnnbench:", err)
+		os.Exit(2)
+	}
 
 	cfg := cnn.VGGLike()
 	apps := []sim.Approach{sim.Baseline, sim.Iprobe, sim.CommSelf, sim.Offload}
@@ -30,6 +39,7 @@ func main() {
 		var base, off float64
 		for _, a := range apps {
 			p := model.Endeavor()
+			p.Topo = spec
 			var per float64
 			sim.Run(sim.Config{Ranks: nodes * p.RanksPerNode, Approach: a, Profile: p}, func(env *sim.Env) {
 				r := cnn.RunHybrid(env, cfg, 2, *iters)

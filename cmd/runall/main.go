@@ -22,8 +22,9 @@ func main() {
 
 	iters := "3"
 	fftIters := "2"
+	mtIters := "40"
 	if *quick {
-		iters, fftIters = "2", "1"
+		iters, fftIters, mtIters = "2", "1", "10"
 	}
 
 	steps := []step{
@@ -48,6 +49,8 @@ func main() {
 		{"Fig 13a (FFT weak scaling, Xeon)", []string{"run", "./cmd/fftbench", "-exp=fig13a", "-segments=4", "-iters=" + fftIters}},
 		{"Fig 13b (FFT weak scaling, Phi)", []string{"run", "./cmd/fftbench", "-exp=fig13b", "-iters=" + fftIters}},
 		{"Fig 14 (CNN training)", []string{"run", "./cmd/cnnbench", "-iters=" + iters}},
+		{"Enqueue scaling (BENCH_mtscale.json)", []string{"run", "./cmd/mtbench", "-mtscale", "-scale-iters=" + mtIters}},
+		{"Topology sweep (BENCH_topo.json)", []string{"run", "./cmd/topobench", "-iters=" + iters}},
 	}
 
 	start := time.Now()

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"mpioffload/bench"
+)
+
+// topoSchema versions BENCH_topo.json; bump on incompatible change.
+const topoSchema = "topo/v1"
+
+// TopoReport is the BENCH_topo.json document: one row per
+// (topology, algorithm, size) cell of the sweep.
+type TopoReport struct {
+	Schema       string                 `json:"schema"`
+	Profile      string                 `json:"profile"`
+	Nodes        int                    `json:"nodes"`
+	RanksPerNode int                    `json:"ranks_per_node"`
+	Rows         []bench.TopoCollResult `json:"rows"`
+}
+
+// validateTopo checks a report's structure and its headline claim. The
+// structural checks are machine-independent; the performance assertion
+// (hier beats ring for >= 1 MiB on any >= 2:1-oversubscribed fat-tree) is
+// safe to enforce because virtual time is deterministic.
+func validateTopo(rep *TopoReport) error {
+	if rep.Schema != topoSchema {
+		return fmt.Errorf("schema %q, want %q", rep.Schema, topoSchema)
+	}
+	if rep.Profile == "" {
+		return fmt.Errorf("missing profile")
+	}
+	if rep.Nodes < 2 || rep.RanksPerNode < 1 {
+		return fmt.Errorf("bad cluster shape: %d nodes x %d ranks", rep.Nodes, rep.RanksPerNode)
+	}
+	if len(rep.Rows) == 0 {
+		return fmt.Errorf("empty sweep")
+	}
+	mean := make(map[string]float64) // "topo|algo|bytes" → MeanNs
+	for _, r := range rep.Rows {
+		if r.Topo == "" || r.Bytes <= 0 || r.MeanNs <= 0 {
+			return fmt.Errorf("bad row %+v", r)
+		}
+		switch r.Algo {
+		case "ring", "hier", "auto":
+		default:
+			return fmt.Errorf("unknown algorithm %q", r.Algo)
+		}
+		if r.Topo == "flat" && (r.MaxLinkUtil != 0 || r.MaxLinkWaitNs != 0 || r.MaxQueue != 0) {
+			return fmt.Errorf("flat row carries link contention: %+v", r)
+		}
+		mean[fmt.Sprintf("%s|%s|%d", r.Topo, r.Algo, r.Bytes)] = r.MeanNs
+	}
+	// Headline claim: on every swept fat-tree oversubscribed >= 2:1, the
+	// hierarchical allreduce must beat the flat ring at >= 1 MiB.
+	checked := 0
+	for _, r := range rep.Rows {
+		if r.Algo != "hier" || r.Bytes < 1<<20 || !oversubscribedFatTree(r.Topo) {
+			continue
+		}
+		ring, ok := mean[fmt.Sprintf("%s|ring|%d", r.Topo, r.Bytes)]
+		if !ok {
+			return fmt.Errorf("no ring row to compare against %+v", r)
+		}
+		if r.MeanNs >= ring {
+			return fmt.Errorf("hier (%.0f ns) not faster than ring (%.0f ns) on %s at %d bytes",
+				r.MeanNs, ring, r.Topo, r.Bytes)
+		}
+		checked++
+	}
+	if checked == 0 {
+		return fmt.Errorf("sweep has no >= 1 MiB hier rows on an oversubscribed fat-tree")
+	}
+	return nil
+}
+
+// oversubscribedFatTree reports whether a topology-axis string names a
+// fat-tree with oversubscription factor >= 2.
+func oversubscribedFatTree(s string) bool {
+	if !strings.HasPrefix(s, "fattree") {
+		return false
+	}
+	i := strings.Index(s, "oversub=")
+	if i < 0 {
+		return false
+	}
+	var f float64
+	if _, err := fmt.Sscanf(s[i+len("oversub="):], "%g", &f); err != nil {
+		return false
+	}
+	return f >= 2
+}
+
+// validateTopoFile loads and validates a BENCH_topo.json document.
+func validateTopoFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep TopoReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return validateTopo(&rep)
+}

@@ -180,6 +180,13 @@ func (c ctx) recv(t *vclock.Task, buf []byte, from int) proto.Req {
 	return c.e.Irecv(t, buf, c.g.Ranks[from], c.tag, c.cc)
 }
 
+// bwDiv resolves the per-send bandwidth divisor for all-to-all style
+// traffic — the one seam between collectives and congestion modelling.
+// Under the flat topology it is the profile's analytic CongestionFactor;
+// under an explicit topology it is 1, because contention emerges from the
+// fabric's per-link busy clocks instead of a closed form.
+func (c ctx) bwDiv() float64 { return c.e.F.CollBwDiv(c.g.Nodes) }
+
 // Ibarrier starts a dissemination barrier.
 func Ibarrier(t *vclock.Task, e *proto.Engine, g Group, tag int) *Sched {
 	c := newCtx(e, g, tag)
@@ -436,7 +443,7 @@ func Ialltoall(t *vclock.Task, e *proto.Engine, g Group, send, recv []byte, bs, 
 	c := newCtx(e, g, tag)
 	n := g.Size()
 	me := g.Me
-	bwDiv := e.P.CongestionFactor(g.Nodes)
+	bwDiv := c.bwDiv()
 	var phases []Phase
 	phases = append(phases, Phase{Post: func(t *vclock.Task) []proto.Req {
 		t.SleepF(e.P.CopyTime(bs))
@@ -482,7 +489,7 @@ func IalltoallN(t *vclock.Task, e *proto.Engine, g Group, bs, tag int) *Sched {
 	c := newCtx(e, g, tag)
 	n := g.Size()
 	me := g.Me
-	bwDiv := e.P.CongestionFactor(g.Nodes)
+	bwDiv := c.bwDiv()
 	phases := []Phase{{Post: func(t *vclock.Task) []proto.Req {
 		// The local block stays in place (the caller's own reshuffle
 		// passes account for it); only the remote transfers are posted.

@@ -16,12 +16,25 @@ const RingThreshold = 64 << 10
 // package mpi work on 8-byte words; complex128 is two of them).
 const reduceElem = 8
 
-// IallreduceAuto picks the allreduce algorithm by message size.
+// IallreduceAuto picks the allreduce algorithm by message size and — when
+// the fabric carries an explicit topology — by the group's node layout.
 func IallreduceAuto(t *vclock.Task, e *proto.Engine, g Group, buf []byte, op Combine, tag int) *Sched {
+	if hierEligible(e, g, len(buf), true) {
+		return IallreduceHier(t, e, g, buf, op, tag)
+	}
 	if len(buf) >= RingThreshold && g.Size() > 2 && len(buf)%reduceElem == 0 {
 		return IallreduceRing(t, e, g, buf, op, tag)
 	}
 	return Iallreduce(t, e, g, buf, op, tag)
+}
+
+// IallreduceAutoN is the phantom counterpart of IallreduceAuto: the same
+// algorithm choice for an n-byte payload that carries no data.
+func IallreduceAutoN(t *vclock.Task, e *proto.Engine, g Group, n, tag int) *Sched {
+	if hierEligible(e, g, n, false) {
+		return IallreduceHierN(t, e, g, n, tag)
+	}
+	return IallreduceN(t, e, g, n, tag)
 }
 
 // IallreduceRing is the bandwidth-optimal ring allreduce: a reduce-scatter
@@ -34,49 +47,11 @@ func IallreduceRing(t *vclock.Task, e *proto.Engine, g Group, buf []byte, op Com
 	}
 	c := newCtx(e, g, tag)
 	n := g.Size()
-	me := g.Me
-	right := (me + 1) % n
-	left := (me - 1 + n) % n
-
-	// Block b covers elements [b·count/n, (b+1)·count/n).
-	count := len(buf) / reduceElem
-	off := func(b int) int { return (b%n + n) % n * count / n * reduceElem }
-	block := func(b int) []byte {
-		b = (b%n + n) % n
-		return buf[off(b) : (b+1)*count/n*reduceElem]
+	peers := make([]int, n)
+	for i := range peers {
+		peers[i] = i
 	}
-	var phases []Phase
-	// Reduce-scatter: at step s we send block (me-s) and receive+combine
-	// block (me-s-1); after n-1 steps rank r owns the fully reduced block
-	// (r+1) mod n.
-	for s := 0; s < n-1; s++ {
-		s := s
-		tmp := make([]byte, len(block(0))+reduceElem) // blocks differ ≤1 elem
-		phases = append(phases, Phase{
-			Post: func(t *vclock.Task) []proto.Req {
-				rb := block(me - s - 1)
-				return []proto.Req{
-					c.e.Irecv(t, tmp[:len(rb)], c.g.Ranks[left], c.tag, c.cc),
-					c.send(t, block(me-s), right),
-				}
-			},
-			After: func(t *vclock.Task) {
-				rb := block(me - s - 1)
-				t.SleepF(e.P.CopyTime(len(rb)))
-				op(rb, tmp[:len(rb)])
-			},
-		})
-	}
-	// Allgather: circulate the reduced blocks.
-	for s := 0; s < n-1; s++ {
-		s := s
-		phases = append(phases, Phase{Post: func(t *vclock.Task) []proto.Req {
-			return []proto.Req{
-				c.recv(t, block(me-s), left),
-				c.send(t, block(me-s+1), right),
-			}
-		}})
-	}
+	phases := ringAllreducePhases(c, g.Me, peers, buf, op, nil)
 	return start(t, e, "allreduce-ring", phases)
 }
 
@@ -158,7 +133,7 @@ func IalltoallV(t *vclock.Task, e *proto.Engine, g Group, sendBufs, recvBufs [][
 	c := newCtx(e, g, tag)
 	n := g.Size()
 	me := g.Me
-	bwDiv := e.P.CongestionFactor(g.Nodes)
+	bwDiv := c.bwDiv()
 	var phases []Phase
 	phases = append(phases, Phase{Post: func(t *vclock.Task) []proto.Req {
 		t.SleepF(e.P.CopyTime(len(sendBufs[me])))

@@ -1,0 +1,569 @@
+package coll
+
+// Topology-aware hierarchical allreduce.
+//
+// IallreduceHier exploits the node structure the fabric exposes: combine
+// contributions inside each node over the cheap shared-memory transport
+// first, cross the network once per node (not once per rank), then fan
+// the result back out locally. Two shapes:
+//
+//   - Uniform layouts (every node hosts the same number of group members,
+//     m): slice-parallel. An intra-node ring reduce-scatter leaves local
+//     member li owning the node-reduced slice li; the li-th members of
+//     all nodes then run m concurrent inter-node ring allreduces, one per
+//     slice (disjoint rank pairs, so every node NIC carries traffic);
+//     an intra-node ring allgather recombines the slices. Inter-node
+//     bytes per node: 2·(L-1)/L of the buffer — the bandwidth-optimal
+//     minimum — moved in 2(L-1) rounds instead of the flat ring's
+//     2(n-1).
+//   - Irregular layouts (nodes host different member counts): leader-
+//     based. Binomial-reduce onto each node's leader over shm, ring-
+//     allreduce the full buffer among leaders, binomial-bcast back.
+//
+// The schedules run on the same phase machinery as every other
+// collective, so they progress (and overlap) through whatever progress
+// engine the approach provides — the offload thread being the point of
+// the paper.
+
+import (
+	"mpioffload/internal/proto"
+	"mpioffload/internal/vclock"
+)
+
+// nodeLayout is a group's node placement, derived from the fabric's
+// rank→node map. Node indices are dense, in order of first appearance
+// while scanning group ranks — deterministic for a given group.
+type nodeLayout struct {
+	members [][]int // dense node index → group ranks hosted there (ascending)
+	nodeIdx []int   // group rank → dense node index
+	myNode  int     // my dense node index
+	myLocal int     // my position within members[myNode]
+	uniform bool    // every node hosts the same member count
+}
+
+func layoutOf(e *proto.Engine, g Group) nodeLayout {
+	lay := nodeLayout{nodeIdx: make([]int, g.Size())}
+	seen := make(map[int]int) // physical node → dense index
+	for i, r := range g.Ranks {
+		phys := e.F.NodeOf(r)
+		di, ok := seen[phys]
+		if !ok {
+			di = len(lay.members)
+			seen[phys] = di
+			lay.members = append(lay.members, nil)
+		}
+		lay.nodeIdx[i] = di
+		lay.members[di] = append(lay.members[di], i)
+	}
+	lay.uniform = true
+	for _, m := range lay.members {
+		if len(m) != len(lay.members[0]) {
+			lay.uniform = false
+			break
+		}
+	}
+	lay.myNode = lay.nodeIdx[g.Me]
+	for li, gr := range lay.members[lay.myNode] {
+		if gr == g.Me {
+			lay.myLocal = li
+			break
+		}
+	}
+	return lay
+}
+
+// hierEligible decides whether the topology-consulting auto variants pick
+// the hierarchical algorithm: only under an explicit (non-flat) topology,
+// for bandwidth-bound sizes, when the group spans several nodes with
+// intra-node parallelism to exploit. Everything else keeps the flat
+// algorithms — and their historical timelines — untouched.
+func hierEligible(e *proto.Engine, g Group, n int, needAlign bool) bool {
+	if !e.F.Hierarchical() || n < RingThreshold || g.Size() <= 2 {
+		return false
+	}
+	if needAlign && n%reduceElem != 0 {
+		return false
+	}
+	lay := layoutOf(e, g)
+	return len(lay.members) >= 2 && g.Size() > len(lay.members)
+}
+
+// hierChunkBytes is the pipelining granularity of the hierarchical
+// allreduce: buffers are cut into up to hierChunkMax chunks of roughly
+// this size, each an independent schedule, so one chunk's intra-node
+// phases (shared memory) overlap another's inter-node phase (network).
+// Without the pipeline the three phases serialize and the shm legs land
+// on the critical path.
+const (
+	hierChunkBytes = 512 << 10
+	hierChunkMax   = 4
+)
+
+// hierChunks picks the pipeline depth for an n-byte buffer on a layout
+// with m members per node. Pipelining pays only while the node uplink has
+// slack per round: with two members the inter-node phase is latency-lean
+// and chunks interleave cleanly, while at higher member counts every
+// round already queues m flows on the uplink and extra chunks just
+// multiply latency-bound rounds — measured slower than the serial
+// schedule, so those layouts stay unpipelined.
+func hierChunks(n, m int) int {
+	if m > 2 {
+		return 1
+	}
+	k := n / hierChunkBytes
+	if k < 1 {
+		return 1
+	}
+	if k > hierChunkMax {
+		return hierChunkMax
+	}
+	return k
+}
+
+// chunkTag derives the i-th chunk's tag. Collective tags are small
+// sequence numbers (mpi allocates them from a per-comm counter), so
+// offsetting by a high bit cannot collide with another collective in
+// flight on the same communicator.
+func chunkTag(tag, i int) int { return tag + (i+1)<<20 }
+
+// gate is a local completion marker used to stagger pipelined chunks:
+// chunk i+1's schedule begins with a phase that waits on chunk i's gate,
+// which opens when chunk i leaves the intra-node reduce-scatter. Without
+// the stagger every chunk enters the same phase at the same time and the
+// pipeline degenerates into the serial schedule with extra per-message
+// costs.
+type gate struct{ open bool }
+
+func (g *gate) Done() bool { return g.open }
+
+// stagePipeline rewires a chunk's phase list for pipelining: it opens my
+// gate (bumping the engine so waiters re-step) after phase aEnd, and
+// prepends a wait on the previous chunk's gate.
+func stagePipeline(c ctx, phases []Phase, aEnd int, mine, prev *gate) []Phase {
+	after := phases[aEnd].After
+	phases[aEnd].After = func(t *vclock.Task) {
+		if after != nil {
+			after(t)
+		}
+		mine.open = true
+		c.e.Bump()
+	}
+	if prev == nil {
+		return phases
+	}
+	wait := Phase{Post: func(t *vclock.Task) []proto.Req {
+		return []proto.Req{prev}
+	}}
+	return append([]Phase{wait}, phases...)
+}
+
+// IallreduceHier starts the hierarchical allreduce on buf (in place on
+// all ranks). len(buf) must be a multiple of the 8-byte reduce element.
+func IallreduceHier(t *vclock.Task, e *proto.Engine, g Group, buf []byte, op Combine, tag int) *Sched {
+	if len(buf)%reduceElem != 0 {
+		panic("coll: hierarchical allreduce needs an 8-byte-aligned buffer")
+	}
+	var phases []Phase
+	if g.Size() > 1 {
+		lay := layoutOf(e, g)
+		m := len(lay.members[lay.myNode])
+		if !lay.uniform {
+			phases = hierLeaderPhases(newCtx(e, g, tag), lay, buf, op)
+		} else if k := hierChunks(len(buf), m); k == 1 || len(lay.members) == 1 || m == 1 {
+			phases = hierUniformPhases(newCtx(e, g, tag), lay, buf, op)
+		} else {
+			// Pipeline: each chunk is its own schedule on its own tag,
+			// staggered so chunk i+1's shm phase overlaps chunk i's
+			// network phase; the parent completes when every chunk does.
+			count := len(buf) / reduceElem
+			phases = []Phase{{Post: func(t *vclock.Task) []proto.Req {
+				reqs := make([]proto.Req, k)
+				var prev *gate
+				for i := 0; i < k; i++ {
+					cb := buf[i*count/k*reduceElem : (i+1)*count/k*reduceElem]
+					cc := newCtx(e, g, chunkTag(tag, i))
+					mine := &gate{}
+					ch := stagePipeline(cc, hierUniformPhases(cc, lay, cb, op), m-2, mine, prev)
+					reqs[i] = start(t, e, "allreduce-hier-chunk", ch)
+					prev = mine
+				}
+				return reqs
+			}}}
+		}
+	}
+	return start(t, e, "allreduce-hier", phases)
+}
+
+// hierUniformPhases builds the slice-parallel schedule (uniform layouts).
+func hierUniformPhases(c ctx, lay nodeLayout, buf []byte, op Combine) []Phase {
+	local := lay.members[lay.myNode]
+	m := len(local)
+	li := lay.myLocal
+	L := len(lay.members)
+	count := len(buf) / reduceElem
+	// Slice b covers elements [b·count/m, (b+1)·count/m) — uneven splits
+	// allowed, always whole reduce elements.
+	slice := func(b int) []byte {
+		b = (b%m + m) % m
+		return buf[b*count/m*reduceElem : (b+1)*count/m*reduceElem]
+	}
+	var phases []Phase
+	lRight := local[(li+1)%m]
+	lLeft := local[(li-1+m)%m]
+	// Phase A: shifted-ring reduce-scatter over shm; after m-1 steps
+	// member li owns the node-reduced slice li (same pattern as
+	// IreduceScatterBlock).
+	for s := 0; s < m-1; s++ {
+		s := s
+		tmp := make([]byte, len(slice(0))+reduceElem) // slices differ ≤1 elem
+		phases = append(phases, Phase{
+			Post: func(t *vclock.Task) []proto.Req {
+				rb := slice(li - s - 2)
+				return []proto.Req{
+					c.e.Irecv(t, tmp[:len(rb)], c.g.Ranks[lLeft], c.tag, c.cc),
+					c.send(t, slice(li-s-1), lRight),
+				}
+			},
+			After: func(t *vclock.Task) {
+				rb := slice(li - s - 2)
+				t.SleepF(c.e.P.CopyTime(len(rb)))
+				op(rb, tmp[:len(rb)])
+			},
+		})
+	}
+	// Phase B: m concurrent inter-node ring allreduces, one per slice,
+	// among the li-th members of every node.
+	if L > 1 {
+		peers := make([]int, L)
+		for ni := 0; ni < L; ni++ {
+			peers[ni] = lay.members[ni][li]
+		}
+		phases = ringAllreducePhases(c, lay.myNode, peers, slice(li), op, phases)
+	}
+	// Phase C: ring allgather of the reduced slices over shm.
+	for s := 0; s < m-1; s++ {
+		s := s
+		phases = append(phases, Phase{Post: func(t *vclock.Task) []proto.Req {
+			return []proto.Req{
+				c.recv(t, slice(li-s-1), lLeft),
+				c.send(t, slice(li-s), lRight),
+			}
+		}})
+	}
+	return phases
+}
+
+// hierLeaderPhases builds the leader-based schedule (irregular layouts):
+// the whole buffer moves through each node's leader, which is not
+// bandwidth-optimal but correct for any member split.
+func hierLeaderPhases(c ctx, lay nodeLayout, buf []byte, op Combine) []Phase {
+	local := lay.members[lay.myNode]
+	li := lay.myLocal
+	L := len(lay.members)
+	phases := binomialReducePhases(c, li, local, buf, op, nil)
+	if L > 1 && li == 0 {
+		leaders := make([]int, L)
+		for ni := range lay.members {
+			leaders[ni] = lay.members[ni][0]
+		}
+		phases = ringAllreducePhases(c, lay.myNode, leaders, buf, op, phases)
+	}
+	return binomialBcastPhases(c, li, local, buf, phases)
+}
+
+// ringAllreducePhases appends the bandwidth-optimal ring allreduce of buf
+// over the peer set (group ranks in ring order; mi = my position) to
+// phases: a reduce-scatter half (n-1 steps) then an allgather half (n-1
+// steps). Every peer ends with the fully reduced buffer. All peers must
+// pass the same buffer length.
+func ringAllreducePhases(c ctx, mi int, peers []int, buf []byte, op Combine, phases []Phase) []Phase {
+	n := len(peers)
+	if n < 2 || len(buf) == 0 {
+		return phases
+	}
+	right := peers[(mi+1)%n]
+	left := peers[(mi-1+n)%n]
+	count := len(buf) / reduceElem
+	block := func(b int) []byte {
+		b = (b%n + n) % n
+		return buf[b*count/n*reduceElem : (b+1)*count/n*reduceElem]
+	}
+	// Reduce-scatter: at step s send block (mi-s), receive+combine block
+	// (mi-s-1); after n-1 steps peer p owns the fully reduced block (p+1).
+	for s := 0; s < n-1; s++ {
+		s := s
+		tmp := make([]byte, len(block(0))+reduceElem) // blocks differ ≤1 elem
+		phases = append(phases, Phase{
+			Post: func(t *vclock.Task) []proto.Req {
+				rb := block(mi - s - 1)
+				return []proto.Req{
+					c.e.Irecv(t, tmp[:len(rb)], c.g.Ranks[left], c.tag, c.cc),
+					c.send(t, block(mi-s), right),
+				}
+			},
+			After: func(t *vclock.Task) {
+				rb := block(mi - s - 1)
+				t.SleepF(c.e.P.CopyTime(len(rb)))
+				op(rb, tmp[:len(rb)])
+			},
+		})
+	}
+	// Allgather: circulate the reduced blocks.
+	for s := 0; s < n-1; s++ {
+		s := s
+		phases = append(phases, Phase{Post: func(t *vclock.Task) []proto.Req {
+			return []proto.Req{
+				c.recv(t, block(mi-s), left),
+				c.send(t, block(mi-s+1), right),
+			}
+		}})
+	}
+	return phases
+}
+
+// binomialReducePhases appends a binomial-tree reduction of buf over the
+// peer set onto peers[0] (mi = my position; peers[0] ends with the
+// result).
+func binomialReducePhases(c ctx, mi int, peers []int, buf []byte, op Combine, phases []Phase) []Phase {
+	n := len(peers)
+	for mask := 1; mask < n; mask <<= 1 {
+		if mi&mask != 0 {
+			parent := peers[mi&^mask]
+			phases = append(phases, Phase{Post: func(t *vclock.Task) []proto.Req {
+				return []proto.Req{c.send(t, buf, parent)}
+			}})
+			break
+		}
+		src := mi | mask
+		if src >= n {
+			continue
+		}
+		from := peers[src]
+		tmp := make([]byte, len(buf))
+		phases = append(phases, Phase{
+			Post: func(t *vclock.Task) []proto.Req {
+				return []proto.Req{c.recv(t, tmp, from)}
+			},
+			After: func(t *vclock.Task) {
+				t.SleepF(c.e.P.CopyTime(len(buf)))
+				op(buf, tmp)
+			},
+		})
+	}
+	return phases
+}
+
+// binomialBcastPhases appends a binomial-tree broadcast of buf from
+// peers[0] over the peer set (mi = my position).
+func binomialBcastPhases(c ctx, mi int, peers []int, buf []byte, phases []Phase) []Phase {
+	n := len(peers)
+	recvMask := 0
+	for mask := 1; mask < n; mask <<= 1 {
+		if mi&mask != 0 {
+			recvMask = mask
+			parent := peers[mi&^mask]
+			phases = append(phases, Phase{Post: func(t *vclock.Task) []proto.Req {
+				return []proto.Req{c.recv(t, buf, parent)}
+			}})
+			break
+		}
+	}
+	top := recvMask
+	if mi == 0 {
+		top = 1
+		for top < n {
+			top <<= 1
+		}
+	}
+	for mask := top >> 1; mask > 0; mask >>= 1 {
+		if mi&mask == 0 && mi+mask < n {
+			child := peers[mi+mask]
+			phases = append(phases, Phase{Post: func(t *vclock.Task) []proto.Req {
+				return []proto.Req{c.send(t, buf, child)}
+			}})
+		}
+	}
+	return phases
+}
+
+// ---- phantom variant ---------------------------------------------------
+
+// IallreduceHierN is the phantom hierarchical allreduce: the same phase
+// structure and byte counts as IallreduceHier, carrying no data (workload
+// models post multi-megabyte gradient reductions without allocating
+// them). n does not need reduce-element alignment — splits use exact
+// integer byte arithmetic.
+func IallreduceHierN(t *vclock.Task, e *proto.Engine, g Group, n, tag int) *Sched {
+	var phases []Phase
+	if g.Size() > 1 {
+		lay := layoutOf(e, g)
+		m := len(lay.members[lay.myNode])
+		if !lay.uniform {
+			phases = hierLeaderPhasesN(newCtx(e, g, tag), lay, n)
+		} else if k := hierChunks(n, m); k == 1 || len(lay.members) == 1 || m == 1 {
+			phases = hierUniformPhasesN(newCtx(e, g, tag), lay, n)
+		} else {
+			phases = []Phase{{Post: func(t *vclock.Task) []proto.Req {
+				reqs := make([]proto.Req, k)
+				var prev *gate
+				for i := 0; i < k; i++ {
+					cc := newCtx(e, g, chunkTag(tag, i))
+					mine := &gate{}
+					ch := stagePipeline(cc, hierUniformPhasesN(cc, lay, part(i, k, n)), m-2, mine, prev)
+					reqs[i] = start(t, e, "allreduce-hierN-chunk", ch)
+					prev = mine
+				}
+				return reqs
+			}}}
+		}
+	}
+	return start(t, e, "allreduce-hierN", phases)
+}
+
+// part is the byte count of block b when total bytes split into parts
+// contiguous blocks (b wraps; uneven splits allowed).
+func part(b, parts, total int) int {
+	b = (b%parts + parts) % parts
+	return (b+1)*total/parts - b*total/parts
+}
+
+func hierUniformPhasesN(c ctx, lay nodeLayout, total int) []Phase {
+	local := lay.members[lay.myNode]
+	m := len(local)
+	li := lay.myLocal
+	L := len(lay.members)
+	var phases []Phase
+	lRight := local[(li+1)%m]
+	lLeft := local[(li-1+m)%m]
+	for s := 0; s < m-1; s++ {
+		s := s
+		phases = append(phases, Phase{
+			Post: func(t *vclock.Task) []proto.Req {
+				return []proto.Req{
+					c.recvN(t, part(li-s-2, m, total), lLeft),
+					c.sendN(t, part(li-s-1, m, total), lRight, 1),
+				}
+			},
+			After: func(t *vclock.Task) { t.SleepF(c.e.P.CopyTime(part(li-s-2, m, total))) },
+		})
+	}
+	if L > 1 {
+		peers := make([]int, L)
+		for ni := 0; ni < L; ni++ {
+			peers[ni] = lay.members[ni][li]
+		}
+		phases = ringAllreducePhasesN(c, lay.myNode, peers, part(li, m, total), phases)
+	}
+	for s := 0; s < m-1; s++ {
+		s := s
+		phases = append(phases, Phase{Post: func(t *vclock.Task) []proto.Req {
+			return []proto.Req{
+				c.recvN(t, part(li-s-1, m, total), lLeft),
+				c.sendN(t, part(li-s, m, total), lRight, 1),
+			}
+		}})
+	}
+	return phases
+}
+
+func hierLeaderPhasesN(c ctx, lay nodeLayout, total int) []Phase {
+	local := lay.members[lay.myNode]
+	li := lay.myLocal
+	L := len(lay.members)
+	phases := binomialReducePhasesN(c, li, local, total, nil)
+	if L > 1 && li == 0 {
+		leaders := make([]int, L)
+		for ni := range lay.members {
+			leaders[ni] = lay.members[ni][0]
+		}
+		phases = ringAllreducePhasesN(c, lay.myNode, leaders, total, phases)
+	}
+	return binomialBcastPhasesN(c, li, local, total, phases)
+}
+
+func ringAllreducePhasesN(c ctx, mi int, peers []int, total int, phases []Phase) []Phase {
+	n := len(peers)
+	if n < 2 || total <= 0 {
+		return phases
+	}
+	right := peers[(mi+1)%n]
+	left := peers[(mi-1+n)%n]
+	for s := 0; s < n-1; s++ {
+		s := s
+		phases = append(phases, Phase{
+			Post: func(t *vclock.Task) []proto.Req {
+				return []proto.Req{
+					c.recvN(t, part(mi-s-1, n, total), left),
+					c.sendN(t, part(mi-s, n, total), right, 1),
+				}
+			},
+			After: func(t *vclock.Task) { t.SleepF(c.e.P.CopyTime(part(mi-s-1, n, total))) },
+		})
+	}
+	for s := 0; s < n-1; s++ {
+		s := s
+		phases = append(phases, Phase{Post: func(t *vclock.Task) []proto.Req {
+			return []proto.Req{
+				c.recvN(t, part(mi-s, n, total), left),
+				c.sendN(t, part(mi-s+1, n, total), right, 1),
+			}
+		}})
+	}
+	return phases
+}
+
+func binomialReducePhasesN(c ctx, mi int, peers []int, total int, phases []Phase) []Phase {
+	n := len(peers)
+	for mask := 1; mask < n; mask <<= 1 {
+		if mi&mask != 0 {
+			parent := peers[mi&^mask]
+			phases = append(phases, Phase{Post: func(t *vclock.Task) []proto.Req {
+				return []proto.Req{c.sendN(t, total, parent, 1)}
+			}})
+			break
+		}
+		src := mi | mask
+		if src >= n {
+			continue
+		}
+		from := peers[src]
+		phases = append(phases, Phase{
+			Post: func(t *vclock.Task) []proto.Req {
+				return []proto.Req{c.recvN(t, total, from)}
+			},
+			After: func(t *vclock.Task) { t.SleepF(c.e.P.CopyTime(total)) },
+		})
+	}
+	return phases
+}
+
+func binomialBcastPhasesN(c ctx, mi int, peers []int, total int, phases []Phase) []Phase {
+	n := len(peers)
+	recvMask := 0
+	for mask := 1; mask < n; mask <<= 1 {
+		if mi&mask != 0 {
+			recvMask = mask
+			parent := peers[mi&^mask]
+			phases = append(phases, Phase{Post: func(t *vclock.Task) []proto.Req {
+				return []proto.Req{c.recvN(t, total, parent)}
+			}})
+			break
+		}
+	}
+	top := recvMask
+	if mi == 0 {
+		top = 1
+		for top < n {
+			top <<= 1
+		}
+	}
+	for mask := top >> 1; mask > 0; mask >>= 1 {
+		if mi&mask == 0 && mi+mask < n {
+			child := peers[mi+mask]
+			phases = append(phases, Phase{Post: func(t *vclock.Task) []proto.Req {
+				return []proto.Req{c.sendN(t, total, child, 1)}
+			}})
+		}
+	}
+	return phases
+}

@@ -10,9 +10,28 @@
 //
 // which captures the three first-order effects the paper's experiments
 // depend on: per-message latency, point-to-point bandwidth, and receiver-
-// side congestion under fan-in (all-to-all). Global bisection contention
-// for all-to-all traffic is modelled by an explicit per-send bandwidth
-// divisor supplied by the collective algorithms (see model.CongestionFactor).
+// side congestion under fan-in (all-to-all). Under the flat (default)
+// topology, global bisection contention for all-to-all traffic is
+// modelled by an explicit per-send bandwidth divisor supplied by the
+// collective algorithms (see model.CongestionFactor).
+//
+// When the profile carries an explicit topology (model.Profile.Topo),
+// every inter-node message additionally resolves a deterministic route
+// through the topology's link graph and serializes on each link's
+// busy-until clock — the same trick the shm channel uses, generalized
+// per link. The traversal is cut-through: with all links idle a message's
+// tail clears the path when it clears the slowest link once,
+//
+//	tail(link) = max(tail(prev link),    // pipeline: no re-serialization
+//	               txStart + bytes/bw(link), // slowest-link serialization
+//	               busy(link) + bytes/bw(link)) // queue behind earlier tails
+//
+// so oversubscribed fat-tree trunks or dragonfly global links become real
+// queueing points: concurrent flows sharing a trunk stack their tails on
+// its busy clock. Per-link counters (messages, bytes, busy time, queueing
+// wait histogram, peak queue depth) feed sim.Metrics and the Chrome trace
+// counter tracks. The flat topology bypasses all of this and reproduces
+// historical timelines byte-for-byte.
 //
 // Delivery runs as a vclock timer callback — a zero-CPU hardware agent —
 // so the receiving rank spends no simulated CPU until its MPI progress
@@ -36,6 +55,8 @@ import (
 
 	"mpioffload/internal/fault"
 	"mpioffload/internal/model"
+	"mpioffload/internal/obs"
+	"mpioffload/internal/topo"
 	"mpioffload/internal/vclock"
 )
 
@@ -60,6 +81,22 @@ type Stats struct {
 	Bytes int64
 }
 
+// LinkStat accumulates one topology link's traffic and contention
+// counters. BusyNs is the serialization time the link actually performed
+// (utilization = BusyNs / elapsed); WaitNs and WaitH record the extra
+// delay messages spent queued behind earlier tails on this link;
+// MaxQueue is the peak number of messages simultaneously in flight on or
+// queued for the link.
+type LinkStat struct {
+	Name     string
+	Msgs     int64
+	Bytes    int64
+	BusyNs   float64
+	WaitNs   float64
+	MaxQueue int
+	WaitH    obs.Hist
+}
+
 // Fabric connects n ranks. It is not safe for use outside the owning
 // kernel's scheduler (like everything in the simulation).
 type Fabric struct {
@@ -75,10 +112,20 @@ type Fabric struct {
 	wins    map[[2]int]any
 	jitter  *rand.Rand
 	inj     *fault.Injector
+
+	// Explicit topology state (nil/empty under the flat topology).
+	g         *topo.Graph
+	linkBusy  []float64  // per link: busy-until clock (tail departure)
+	linkQ     []int      // per link: current in-flight/queued depth
+	linkStats []LinkStat // per link: traffic + contention counters
+	sampler   func(ts vclock.Time, link, depth int)
 }
 
 // New builds a fabric for n ranks using profile p. Ranks are assigned to
 // nodes round-robin-contiguously: rank r lives on node r / p.RanksPerNode.
+// A non-flat p.Topo instantiates the topology's link graph over the node
+// count; a malformed topology spec panics here, at construction, before
+// any traffic flows.
 func New(k *vclock.Kernel, p *model.Profile, n int) *Fabric {
 	f := &Fabric{
 		k:       k,
@@ -92,6 +139,19 @@ func New(k *vclock.Kernel, p *model.Profile, n int) *Fabric {
 	}
 	for r := 0; r < n; r++ {
 		f.nodeOf[r] = r / p.RanksPerNode
+	}
+	if !p.Topo.IsFlat() {
+		g, err := topo.Build(p.Topo, f.Nodes(), p.LinkBW)
+		if err != nil {
+			panic("fabric: " + err.Error())
+		}
+		f.g = g
+		f.linkBusy = make([]float64, g.NumLinks())
+		f.linkQ = make([]int, g.NumLinks())
+		f.linkStats = make([]LinkStat, g.NumLinks())
+		for i, l := range g.Links() {
+			f.linkStats[i].Name = l.Name
+		}
 	}
 	if p.LinkJitter > 0 {
 		seed := p.JitterSeed
@@ -204,8 +264,16 @@ func (f *Fabric) Send(src, dst, bytes int, bwDiv float64, payload any) {
 	if drop {
 		return // lost on the wire: the injection port was still occupied
 	}
+	wireEnd := txEnd
+	if f.g != nil {
+		// Explicit topology: the message's tail must clear every routed
+		// link before ejection can complete. Traversed once — a duplicated
+		// packet re-serializes only through the ejection port below, the
+		// wire carried it once.
+		wireEnd = f.traverse(src, dst, bytes, txStart, txEnd)
+	}
 	deliver := func() {
-		rxEnd := max(txEnd+lat, f.rxBusy[dst]+float64(bytes)/bw)
+		rxEnd := max(wireEnd+lat, f.rxBusy[dst]+float64(bytes)/bw)
 		if f.inj != nil {
 			until, stalled, blackout := f.inj.StallUntil(dst, rxEnd)
 			if blackout {
@@ -224,6 +292,101 @@ func (f *Fabric) Send(src, dst, bytes int, bwDiv float64, payload any) {
 	if dup {
 		deliver() // second copy re-serializes through the ejection port
 	}
+}
+
+// traverse serializes one inter-node message over its routed links and
+// returns the virtual time the message's tail clears the last link.
+// Cut-through: an idle path costs max over links of one serialization
+// (relative to txStart), never their sum; a busy link stacks this tail on
+// its busy-until clock, which is where trunk oversubscription turns into
+// queueing delay.
+func (f *Fabric) traverse(src, dst, bytes int, txStart, txEnd float64) float64 {
+	t := txEnd
+	for _, li := range f.g.Route(f.nodeOf[src], f.nodeOf[dst]) {
+		s := float64(bytes) / f.g.Link(li).BW
+		free := max(t, txStart+s) // uncontended tail departure (pipelined)
+		tl := max(free, f.linkBusy[li]+s)
+		f.linkBusy[li] = tl
+		st := &f.linkStats[li]
+		st.Msgs++
+		st.Bytes += int64(bytes)
+		st.BusyNs += s
+		st.WaitNs += tl - free
+		st.WaitH.Observe(int64(tl - free))
+		f.noteLinkOcc(li, txStart, tl)
+		t = tl
+	}
+	return t
+}
+
+// noteLinkOcc tracks a link's in-flight depth over the message's
+// occupancy window [from, to] with two timer callbacks, so peak queue
+// depth and the Chrome counter track reflect true virtual-time overlap.
+func (f *Fabric) noteLinkOcc(li int, from, to float64) {
+	now := float64(f.k.Now())
+	f.k.AfterF(from-now, func() {
+		f.linkQ[li]++
+		if f.linkQ[li] > f.linkStats[li].MaxQueue {
+			f.linkStats[li].MaxQueue = f.linkQ[li]
+		}
+		if f.sampler != nil {
+			f.sampler(f.k.Now(), li, f.linkQ[li])
+		}
+	})
+	f.k.AfterF(to-now, func() {
+		f.linkQ[li]--
+		if f.sampler != nil {
+			f.sampler(f.k.Now(), li, f.linkQ[li])
+		}
+	})
+}
+
+// Topo returns the instantiated topology graph (nil under flat).
+func (f *Fabric) Topo() *topo.Graph { return f.g }
+
+// Hierarchical reports whether an explicit (non-flat) topology is
+// active — the signal topology-consulting collectives key off.
+func (f *Fabric) Hierarchical() bool { return f.g != nil }
+
+// CollBwDiv is the bandwidth divisor all-to-all style collectives apply
+// per send. Under the flat topology it is the profile's analytic
+// CongestionFactor closed form; under an explicit topology it is 1 —
+// contention emerges from the per-link busy clocks instead of a formula.
+func (f *Fabric) CollBwDiv(nodes int) float64 {
+	if f.g != nil {
+		return 1
+	}
+	return f.prof.CongestionFactor(nodes)
+}
+
+// LinkStats returns a copy of the per-link counters (nil under flat).
+func (f *Fabric) LinkStats() []LinkStat {
+	if f.linkStats == nil {
+		return nil
+	}
+	out := make([]LinkStat, len(f.linkStats))
+	copy(out, f.linkStats)
+	return out
+}
+
+// SetLinkSampler installs a callback invoked (in timer context, in
+// virtual-time order) whenever a link's in-flight depth changes. Used by
+// the sim layer to feed Chrome trace counter tracks.
+func (f *Fabric) SetLinkSampler(fn func(ts vclock.Time, link, depth int)) {
+	f.sampler = fn
+}
+
+// PathNames describes the route between two ranks for trace attribution:
+// link names for inter-node pairs under an explicit topology, ["shm"]
+// for same-node pairs, nil under the flat topology.
+func (f *Fabric) PathNames(src, dst int) []string {
+	if f.nodeOf[src] == f.nodeOf[dst] {
+		return []string{"shm"}
+	}
+	if f.g == nil {
+		return nil
+	}
+	return f.g.RouteNames(f.nodeOf[src], f.nodeOf[dst])
 }
 
 // deliverAt schedules the packet's arrival, re-checking at delivery time

@@ -1,0 +1,327 @@
+package fabric
+
+import (
+	"reflect"
+	"testing"
+
+	"mpioffload/internal/model"
+	"mpioffload/internal/topo"
+	"mpioffload/internal/vclock"
+)
+
+// fatTreeProfile: 4 single-rank nodes on a 2-level fat-tree, arity 2
+// (nodes 0,1 on leaf0; 2,3 on leaf1), LinkBW 1 B/ns for exact arithmetic.
+func fatTreeProfile(oversub float64) *model.Profile {
+	p := testProfile()
+	p.Topo = &topo.Spec{Kind: topo.FatTree, Arity: 2, Oversub: oversub}
+	return p
+}
+
+// TestShmBusySerialization is the dedicated regression for the intra-node
+// shared-memory busy channel: concurrent sends converging on one
+// destination must serialize deterministically in virtual time, each
+// arrival exactly one transfer time after the previous one.
+func TestShmBusySerialization(t *testing.T) {
+	p := testProfile()
+	p.RanksPerNode = 3 // ranks 0,1,2 share node 0
+	k := vclock.NewKernel()
+	f := New(k, p, 3)
+	var got []arrival
+	f.Bind(0, func(*Packet) {})
+	f.Bind(1, func(*Packet) {})
+	collect(f, 2, &got, k)
+	// Two distinct senders post at the same virtual instant.
+	k.Go("s0", func(tk *vclock.Task) {
+		f.Send(0, 2, 1000, 1, "a")
+		tk.Sleep(10_000)
+	})
+	k.Go("s1", func(tk *vclock.Task) {
+		f.Send(1, 2, 1000, 1, "b")
+		tk.Sleep(10_000)
+	})
+	k.Run()
+	if len(got) != 2 {
+		t.Fatalf("arrivals: %d", len(got))
+	}
+	// First: max(0+100, 0) + 1000/10 = 200. Second queues on the busy
+	// channel: max(0+100, 200) + 100 = 300.
+	if got[0].at != 200 || got[1].at != 300 {
+		t.Fatalf("arrivals at %d,%d want 200,300 (shm channel must serialize)",
+			got[0].at, got[1].at)
+	}
+	if got[0].pkt.Payload.(string) != "a" || got[1].pkt.Payload.(string) != "b" {
+		t.Fatal("shm serialization reordered same-destination sends")
+	}
+}
+
+// TestShmBusySerializationDeterminism re-runs the converging-senders
+// scenario and demands identical virtual timelines.
+func TestShmBusySerializationDeterminism(t *testing.T) {
+	run := func() []vclock.Time {
+		p := testProfile()
+		p.RanksPerNode = 4
+		k := vclock.NewKernel()
+		f := New(k, p, 4)
+		var got []arrival
+		for r := 0; r < 3; r++ {
+			f.Bind(r, func(*Packet) {})
+		}
+		collect(f, 3, &got, k)
+		for r := 0; r < 3; r++ {
+			r := r
+			k.Go("s", func(tk *vclock.Task) {
+				for i := 0; i < 5; i++ {
+					f.Send(r, 3, 500, 1, nil)
+					tk.Sleep(50)
+				}
+				tk.Sleep(10_000)
+			})
+		}
+		k.Run()
+		times := make([]vclock.Time, len(got))
+		for i, a := range got {
+			times[i] = a.at
+		}
+		return times
+	}
+	a, b := run(), run()
+	if len(a) != 15 {
+		t.Fatalf("arrivals: %d", len(a))
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("shm serialization nondeterministic:\n%v\n%v", a, b)
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i] <= a[i-1] {
+			t.Fatalf("arrival %d not strictly after %d (%d <= %d)", i, i-1, a[i], a[i-1])
+		}
+	}
+}
+
+// TestTopoCutThroughMatchesFlat: one uncontended message over a full-
+// bisection fat-tree must arrive exactly when the flat fabric delivers
+// it — extra hops add queueing points, not store-and-forward copies.
+func TestTopoCutThroughMatchesFlat(t *testing.T) {
+	deliverAt := func(p *model.Profile) vclock.Time {
+		k := vclock.NewKernel()
+		f := New(k, p, 4)
+		var got []arrival
+		f.Bind(0, func(*Packet) {})
+		f.Bind(1, func(*Packet) {})
+		f.Bind(3, func(*Packet) {})
+		collect(f, 2, &got, k)
+		k.Go("s", func(tk *vclock.Task) {
+			f.Send(0, 2, 1000, 1, nil)
+			tk.Sleep(10_000)
+		})
+		k.Run()
+		if len(got) != 1 {
+			t.Fatalf("arrivals: %d", len(got))
+		}
+		return got[0].at
+	}
+	flat := deliverAt(testProfile())
+	tree := deliverAt(fatTreeProfile(1))
+	if flat != tree {
+		t.Fatalf("uncontended fat-tree delivery %d != flat %d", tree, flat)
+	}
+}
+
+// TestTopoTrunkContention: two messages crossing leaves at once share the
+// oversubscribed trunk; the second tail queues behind the first.
+func TestTopoTrunkContention(t *testing.T) {
+	run := func(oversub float64) []vclock.Time {
+		k := vclock.NewKernel()
+		f := New(k, fatTreeProfile(oversub), 4)
+		var got2, got3 []arrival
+		f.Bind(0, func(*Packet) {})
+		f.Bind(1, func(*Packet) {})
+		collect(f, 2, &got2, k)
+		collect(f, 3, &got3, k)
+		k.Go("s", func(tk *vclock.Task) {
+			f.Send(0, 2, 1000, 1, nil)
+			f.Send(1, 3, 1000, 1, nil)
+			tk.Sleep(20_000)
+		})
+		k.Run()
+		if len(got2) != 1 || len(got3) != 1 {
+			t.Fatalf("arrivals: %d,%d", len(got2), len(got3))
+		}
+		return []vclock.Time{got2[0].at, got3[0].at}
+	}
+	// Oversub 2: trunk bw = arity*1/2 = 1 B/ns. First message clears the
+	// trunk at 1000; the second's tail queues: trunk 1000+1000=2000, so it
+	// ejects at 2000+1000(lat)=3000. Full bisection (trunk 2 B/ns): the
+	// second waits only 500 behind the first: 1500+1000=2500.
+	if got := run(2); got[0] != 2000 || got[1] != 3000 {
+		t.Fatalf("oversub=2 arrivals %v, want [2000 3000]", got)
+	}
+	if got := run(1); got[0] != 2000 || got[1] != 2500 {
+		t.Fatalf("oversub=1 arrivals %v, want [2000 2500]", got)
+	}
+}
+
+// TestTopoLinkStats checks the per-link counters after the contended
+// scenario: the shared trunk saw both messages, 1000 ns of queueing wait
+// and a peak depth of 2.
+func TestTopoLinkStats(t *testing.T) {
+	k := vclock.NewKernel()
+	f := New(k, fatTreeProfile(2), 4)
+	f.Bind(0, func(*Packet) {})
+	f.Bind(1, func(*Packet) {})
+	f.Bind(2, func(*Packet) {})
+	f.Bind(3, func(*Packet) {})
+	k.Go("s", func(tk *vclock.Task) {
+		f.Send(0, 2, 1000, 1, nil)
+		f.Send(1, 3, 1000, 1, nil)
+		tk.Sleep(20_000)
+	})
+	k.Run()
+	stats := f.LinkStats()
+	byName := map[string]LinkStat{}
+	for _, st := range stats {
+		byName[st.Name] = st
+	}
+	trunk := byName["leaf0.up"]
+	if trunk.Msgs != 2 || trunk.Bytes != 2000 {
+		t.Fatalf("trunk traffic %+v", trunk)
+	}
+	if trunk.BusyNs != 2000 || trunk.WaitNs != 1000 {
+		t.Fatalf("trunk busy/wait = %g/%g, want 2000/1000", trunk.BusyNs, trunk.WaitNs)
+	}
+	if trunk.MaxQueue != 2 {
+		t.Fatalf("trunk MaxQueue = %d, want 2", trunk.MaxQueue)
+	}
+	if trunk.WaitH.Count != 2 || trunk.WaitH.Max != 1000 {
+		t.Fatalf("trunk wait histogram %+v", trunk.WaitH)
+	}
+	if up := byName["node0.up"]; up.Msgs != 1 || up.MaxQueue != 1 || up.WaitNs != 0 {
+		t.Fatalf("node0.up %+v", up)
+	}
+	if down := byName["leaf1.down"]; down.Msgs != 2 {
+		t.Fatalf("leaf1.down %+v", down)
+	}
+}
+
+// TestTopoLinkStatsDeterministic: identical runs produce identical link
+// counters (including under latency jitter, which only perturbs the
+// post-wire hop).
+func TestTopoLinkStatsDeterministic(t *testing.T) {
+	run := func() []LinkStat {
+		p := fatTreeProfile(2)
+		p.LinkJitter = 0.3
+		k := vclock.NewKernel()
+		f := New(k, p, 4)
+		for r := 0; r < 4; r++ {
+			f.Bind(r, func(*Packet) {})
+		}
+		for r := 0; r < 4; r++ {
+			r := r
+			k.Go("s", func(tk *vclock.Task) {
+				for i := 0; i < 8; i++ {
+					f.Send(r, (r+2)%4, 700, 1, nil)
+					tk.Sleep(300)
+				}
+				tk.Sleep(50_000)
+			})
+		}
+		k.Run()
+		return f.LinkStats()
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("link stats differ between identical runs")
+	}
+}
+
+// TestTopoSamplerSeesDepthChanges: the link sampler receives every
+// occupancy transition in virtual-time order.
+func TestTopoSamplerSeesDepthChanges(t *testing.T) {
+	type sample struct {
+		ts    vclock.Time
+		link  int
+		depth int
+	}
+	k := vclock.NewKernel()
+	f := New(k, fatTreeProfile(2), 4)
+	var samples []sample
+	f.SetLinkSampler(func(ts vclock.Time, link, depth int) {
+		samples = append(samples, sample{ts, link, depth})
+	})
+	for r := 0; r < 4; r++ {
+		f.Bind(r, func(*Packet) {})
+	}
+	k.Go("s", func(tk *vclock.Task) {
+		f.Send(0, 2, 1000, 1, nil)
+		f.Send(1, 3, 1000, 1, nil)
+		tk.Sleep(20_000)
+	})
+	k.Run()
+	if len(samples) == 0 {
+		t.Fatal("no link samples")
+	}
+	last := vclock.Time(0)
+	depth := map[int]int{}
+	for _, s := range samples {
+		if s.ts < last {
+			t.Fatalf("samples out of order: %d after %d", s.ts, last)
+		}
+		last = s.ts
+		depth[s.link] = s.depth
+	}
+	for link, d := range depth {
+		if d != 0 {
+			t.Fatalf("link %d ends with depth %d, want 0", link, d)
+		}
+	}
+}
+
+// TestCollBwDiv: the analytic congestion divisor only survives under the
+// flat topology.
+func TestCollBwDiv(t *testing.T) {
+	k := vclock.NewKernel()
+	p := testProfile()
+	p.BisectNodes = 2
+	p.BisectAlpha = 1
+	flat := New(k, p, 4)
+	if got := flat.CollBwDiv(4); got != 2 {
+		t.Fatalf("flat CollBwDiv(4) = %g, want 2 (analytic)", got)
+	}
+	tree := New(vclock.NewKernel(), fatTreeProfile(2), 4)
+	if got := tree.CollBwDiv(4); got != 1 {
+		t.Fatalf("topo CollBwDiv(4) = %g, want 1 (links model contention)", got)
+	}
+	if flat.Hierarchical() || !tree.Hierarchical() {
+		t.Fatal("Hierarchical() mismatch")
+	}
+}
+
+// TestPathNames: route attribution strings for critpath refinement.
+func TestPathNames(t *testing.T) {
+	p := fatTreeProfile(2)
+	p.RanksPerNode = 2 // ranks 0,1 node0; 2,3 node1; ... 4 nodes from 8 ranks
+	f := New(vclock.NewKernel(), p, 8)
+	if got := f.PathNames(0, 1); !reflect.DeepEqual(got, []string{"shm"}) {
+		t.Fatalf("same-node path %v", got)
+	}
+	want := []string{"node0.up", "leaf0.up", "leaf1.down", "node2.down"}
+	if got := f.PathNames(1, 5); !reflect.DeepEqual(got, want) {
+		t.Fatalf("cross-leaf path %v, want %v", got, want)
+	}
+	flat := New(vclock.NewKernel(), testProfile(), 2)
+	if got := flat.PathNames(0, 1); got != nil {
+		t.Fatalf("flat inter-node path %v, want nil", got)
+	}
+}
+
+// TestBadTopoPanicsAtConstruction: a malformed spec fails fast in New.
+func TestBadTopoPanicsAtConstruction(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p := testProfile()
+	p.Topo = &topo.Spec{Kind: topo.Custom, NodeSwitch: []int{0}} // too short
+	New(vclock.NewKernel(), p, 4)
+}

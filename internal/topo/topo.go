@@ -1,0 +1,365 @@
+// Package topo describes cluster network topologies as explicit link
+// graphs with deterministic routing.
+//
+// A Spec names a topology family (flat, fat-tree, dragonfly, or a
+// user-defined node→switch map); Build instantiates it for a concrete
+// node count as a Graph: a flat array of unidirectional links, each with
+// its own bandwidth, plus a Route function mapping a (source node,
+// destination node) pair to the ordered list of link ids the message
+// traverses. The fabric serializes every inter-node message on each
+// routed link's busy-until clock, so oversubscribed trunks become real
+// queueing points instead of an analytic divisor.
+//
+// The package is deliberately self-contained (no imports from the rest
+// of the simulator): model depends on it to carry a Spec in a Profile,
+// and fabric depends on it to route, never the other way around.
+//
+// Modelled structure, by family:
+//
+//   - Flat: no graph at all. Build returns nil and the fabric keeps its
+//     historical single-link + CongestionFactor closed form, so existing
+//     results reproduce byte-for-byte.
+//   - FatTree: two-level folded Clos. Every node hangs off a leaf switch
+//     (Arity nodes per leaf) through an up and a down link at the NIC
+//     rate; every leaf reaches a non-blocking core through an up/down
+//     trunk pair of bandwidth Arity·linkBW/Oversub. Oversub = 1 is full
+//     bisection; Oversub = 2 halves every leaf's uplink capacity.
+//   - Dragonfly: nodes are grouped (GroupSize per group); intra-group
+//     routing is non-blocking, every ordered group pair owns one global
+//     link at the NIC rate (minimal routing, no intermediate group).
+//   - Custom: an explicit node→switch map; each switch gets an up/down
+//     trunk pair of bandwidth members·linkBW/Oversub to a non-blocking
+//     core, so irregular and deliberately unbalanced placements can be
+//     expressed directly.
+package topo
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind selects a topology family.
+type Kind uint8
+
+// The topology families.
+const (
+	Flat      Kind = iota // single full-bisection link; analytic congestion
+	FatTree               // two-level folded Clos with oversubscription
+	Dragonfly             // groups with per-pair global links
+	Custom                // user-defined node→switch map
+)
+
+// String names the kind as accepted by Parse.
+func (k Kind) String() string {
+	switch k {
+	case Flat:
+		return "flat"
+	case FatTree:
+		return "fattree"
+	case Dragonfly:
+		return "dragonfly"
+	case Custom:
+		return "custom"
+	}
+	return "?"
+}
+
+// Spec is a parameterized topology description, independent of node
+// count. The zero value (and nil) mean Flat.
+type Spec struct {
+	Kind Kind
+
+	// Arity is the fat-tree's nodes-per-leaf-switch count (default 4).
+	Arity int
+	// Oversub is the uplink oversubscription ratio for fat-tree and
+	// custom switches: trunk bandwidth = members·linkBW/Oversub
+	// (default 1 = full bisection).
+	Oversub float64
+	// GroupSize is the dragonfly's nodes-per-group count (default 4).
+	GroupSize int
+	// NodeSwitch maps node → switch id for Custom topologies.
+	NodeSwitch []int
+}
+
+// IsFlat reports whether the spec selects the flat (legacy) fabric path.
+// A nil spec is flat.
+func (s *Spec) IsFlat() bool { return s == nil || s.Kind == Flat }
+
+// String renders the spec in the canonical form accepted by Parse.
+func (s *Spec) String() string {
+	if s.IsFlat() {
+		return "flat"
+	}
+	switch s.Kind {
+	case FatTree:
+		return fmt.Sprintf("fattree:arity=%d,oversub=%g", s.arity(), s.oversub())
+	case Dragonfly:
+		return fmt.Sprintf("dragonfly:group=%d", s.group())
+	case Custom:
+		parts := make([]string, len(s.NodeSwitch))
+		for i, sw := range s.NodeSwitch {
+			parts[i] = strconv.Itoa(sw)
+		}
+		return fmt.Sprintf("custom:map=%s,oversub=%g", strings.Join(parts, "."), s.oversub())
+	}
+	return "?"
+}
+
+func (s *Spec) arity() int {
+	if s.Arity <= 0 {
+		return 4
+	}
+	return s.Arity
+}
+
+func (s *Spec) oversub() float64 {
+	if s.Oversub <= 0 {
+		return 1
+	}
+	return s.Oversub
+}
+
+func (s *Spec) group() int {
+	if s.GroupSize <= 0 {
+		return 4
+	}
+	return s.GroupSize
+}
+
+// Parse builds a Spec from a -topo flag value. Accepted forms:
+//
+//	flat
+//	fattree[:arity=4,oversub=2]
+//	dragonfly[:group=4]
+//	custom:map=0.0.1.1[,oversub=2]
+func Parse(s string) (*Spec, error) {
+	name, params, _ := strings.Cut(s, ":")
+	spec := &Spec{}
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "flat", "":
+		spec.Kind = Flat
+	case "fattree", "fat-tree":
+		spec.Kind = FatTree
+	case "dragonfly":
+		spec.Kind = Dragonfly
+	case "custom", "switches":
+		spec.Kind = Custom
+	default:
+		return nil, fmt.Errorf("topo: unknown topology %q", name)
+	}
+	if params == "" {
+		if spec.Kind == Custom {
+			return nil, fmt.Errorf("topo: custom topology needs map=<sw.sw...>")
+		}
+		return spec, nil
+	}
+	for _, kv := range strings.Split(params, ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("topo: bad parameter %q (want key=value)", kv)
+		}
+		switch strings.TrimSpace(key) {
+		case "arity":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("topo: bad arity %q", val)
+			}
+			spec.Arity = n
+		case "oversub":
+			x, err := strconv.ParseFloat(val, 64)
+			if err != nil || x < 1 {
+				return nil, fmt.Errorf("topo: bad oversub %q (want >= 1)", val)
+			}
+			spec.Oversub = x
+		case "group":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("topo: bad group %q", val)
+			}
+			spec.GroupSize = n
+		case "map":
+			for _, part := range strings.Split(val, ".") {
+				sw, err := strconv.Atoi(part)
+				if err != nil || sw < 0 {
+					return nil, fmt.Errorf("topo: bad switch id %q in map", part)
+				}
+				spec.NodeSwitch = append(spec.NodeSwitch, sw)
+			}
+		default:
+			return nil, fmt.Errorf("topo: unknown parameter %q", key)
+		}
+	}
+	if spec.Kind == Custom && len(spec.NodeSwitch) == 0 {
+		return nil, fmt.Errorf("topo: custom topology needs map=<sw.sw...>")
+	}
+	return spec, nil
+}
+
+// Link is one unidirectional channel in the graph.
+type Link struct {
+	Name string  // stable human-readable id, e.g. "leaf0.up"
+	BW   float64 // bandwidth in bytes per nanosecond
+}
+
+// Graph is a Spec instantiated for a concrete node count: the link array
+// plus the deterministic routing function over it.
+type Graph struct {
+	kind     Kind
+	nodes    int
+	links    []Link
+	nodeUp   []int // per node: node→switch link id
+	nodeDown []int // per node: switch→node link id
+	swOf     []int // node → leaf switch / group / custom switch
+	swUp     []int // per switch: trunk-to-core link id (fat-tree, custom)
+	swDown   []int // per switch: core-to-switch link id
+	glob     map[[2]int]int // dragonfly: ordered group pair → global link id
+}
+
+// Build instantiates the spec for the given node count and base link
+// bandwidth (the per-NIC rate from the profile). A flat spec builds no
+// graph: Build returns (nil, nil) and the fabric keeps its legacy path.
+func Build(s *Spec, nodes int, linkBW float64) (*Graph, error) {
+	if s.IsFlat() {
+		return nil, nil
+	}
+	if nodes < 1 {
+		return nil, fmt.Errorf("topo: need at least 1 node, have %d", nodes)
+	}
+	if linkBW <= 0 {
+		return nil, fmt.Errorf("topo: non-positive link bandwidth %g", linkBW)
+	}
+	g := &Graph{
+		kind:     s.Kind,
+		nodes:    nodes,
+		nodeUp:   make([]int, nodes),
+		nodeDown: make([]int, nodes),
+		swOf:     make([]int, nodes),
+	}
+	addLink := func(name string, bw float64) int {
+		g.links = append(g.links, Link{Name: name, BW: bw})
+		return len(g.links) - 1
+	}
+	for n := 0; n < nodes; n++ {
+		g.nodeUp[n] = addLink(fmt.Sprintf("node%d.up", n), linkBW)
+		g.nodeDown[n] = addLink(fmt.Sprintf("node%d.down", n), linkBW)
+	}
+	switch s.Kind {
+	case FatTree:
+		arity, over := s.arity(), s.oversub()
+		leaves := (nodes + arity - 1) / arity
+		trunkBW := float64(arity) * linkBW / over
+		g.swUp = make([]int, leaves)
+		g.swDown = make([]int, leaves)
+		for l := 0; l < leaves; l++ {
+			g.swUp[l] = addLink(fmt.Sprintf("leaf%d.up", l), trunkBW)
+			g.swDown[l] = addLink(fmt.Sprintf("leaf%d.down", l), trunkBW)
+		}
+		for n := 0; n < nodes; n++ {
+			g.swOf[n] = n / arity
+		}
+	case Dragonfly:
+		gs := s.group()
+		groups := (nodes + gs - 1) / gs
+		for n := 0; n < nodes; n++ {
+			g.swOf[n] = n / gs
+		}
+		g.glob = make(map[[2]int]int)
+		for a := 0; a < groups; a++ {
+			for b := 0; b < groups; b++ {
+				if a == b {
+					continue
+				}
+				g.glob[[2]int{a, b}] = addLink(fmt.Sprintf("grp%d-grp%d", a, b), linkBW)
+			}
+		}
+	case Custom:
+		if len(s.NodeSwitch) < nodes {
+			return nil, fmt.Errorf("topo: custom map covers %d nodes, need %d",
+				len(s.NodeSwitch), nodes)
+		}
+		maxSw := 0
+		for n := 0; n < nodes; n++ {
+			g.swOf[n] = s.NodeSwitch[n]
+			if s.NodeSwitch[n] > maxSw {
+				maxSw = s.NodeSwitch[n]
+			}
+		}
+		members := make([]int, maxSw+1)
+		for n := 0; n < nodes; n++ {
+			members[g.swOf[n]]++
+		}
+		over := s.oversub()
+		g.swUp = make([]int, maxSw+1)
+		g.swDown = make([]int, maxSw+1)
+		for sw := 0; sw <= maxSw; sw++ {
+			m := members[sw]
+			if m == 0 {
+				m = 1 // empty switch: keep a placeholder trunk
+			}
+			trunkBW := float64(m) * linkBW / over
+			g.swUp[sw] = addLink(fmt.Sprintf("sw%d.up", sw), trunkBW)
+			g.swDown[sw] = addLink(fmt.Sprintf("sw%d.down", sw), trunkBW)
+		}
+	default:
+		return nil, fmt.Errorf("topo: cannot build kind %v", s.Kind)
+	}
+	return g, nil
+}
+
+// Nodes reports the node count the graph was built for.
+func (g *Graph) Nodes() int { return g.nodes }
+
+// NumLinks reports the number of links.
+func (g *Graph) NumLinks() int { return len(g.links) }
+
+// Link returns the link with the given id.
+func (g *Graph) Link(id int) Link { return g.links[id] }
+
+// Links returns a copy of the link array, indexed by link id.
+func (g *Graph) Links() []Link {
+	out := make([]Link, len(g.links))
+	copy(out, g.links)
+	return out
+}
+
+// SwitchOf reports the leaf switch / group hosting a node.
+func (g *Graph) SwitchOf(node int) int { return g.swOf[node] }
+
+// Route returns the ordered link ids a message from src node to dst node
+// traverses. Same-node traffic never reaches the graph (the fabric's
+// shared-memory transport handles it); Route returns nil for it. Routing
+// is minimal and deterministic: the same pair always yields the same
+// path.
+func (g *Graph) Route(src, dst int) []int {
+	if src == dst {
+		return nil
+	}
+	s1, s2 := g.swOf[src], g.swOf[dst]
+	switch g.kind {
+	case FatTree, Custom:
+		if s1 == s2 {
+			return []int{g.nodeUp[src], g.nodeDown[dst]}
+		}
+		return []int{g.nodeUp[src], g.swUp[s1], g.swDown[s2], g.nodeDown[dst]}
+	case Dragonfly:
+		if s1 == s2 {
+			return []int{g.nodeUp[src], g.nodeDown[dst]}
+		}
+		return []int{g.nodeUp[src], g.glob[[2]int{s1, s2}], g.nodeDown[dst]}
+	}
+	return nil
+}
+
+// RouteNames returns Route's path as link names (for trace attribution).
+func (g *Graph) RouteNames(src, dst int) []string {
+	path := g.Route(src, dst)
+	if path == nil {
+		return nil
+	}
+	names := make([]string, len(path))
+	for i, id := range path {
+		names[i] = g.links[id].Name
+	}
+	return names
+}

@@ -1,0 +1,178 @@
+package topo
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseCanonical(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"flat", "flat"},
+		{"fattree", "fattree:arity=4,oversub=1"},
+		{"fattree:arity=8,oversub=2", "fattree:arity=8,oversub=2"},
+		{"fat-tree:oversub=2", "fattree:arity=4,oversub=2"},
+		{"dragonfly", "dragonfly:group=4"},
+		{"dragonfly:group=6", "dragonfly:group=6"},
+		{"custom:map=0.0.1.1", "custom:map=0.0.1.1,oversub=1"},
+		{"switches:map=0.1.0.1,oversub=2", "custom:map=0.1.0.1,oversub=2"},
+	}
+	for _, c := range cases {
+		sp, err := Parse(c.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.in, err)
+		}
+		if got := sp.String(); got != c.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.in, got, c.want)
+		}
+		// The canonical form must round-trip.
+		sp2, err := Parse(sp.String())
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", sp.String(), err)
+		}
+		if sp2.String() != sp.String() {
+			t.Errorf("round-trip %q -> %q", sp.String(), sp2.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{
+		"torus",
+		"fattree:arity=0",
+		"fattree:oversub=0.5",
+		"fattree:bogus=1",
+		"fattree:arity",
+		"dragonfly:group=x",
+		"custom",
+		"custom:map=0.-1",
+	} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q): expected error", in)
+		}
+	}
+}
+
+func TestFlatBuildsNoGraph(t *testing.T) {
+	var nilSpec *Spec
+	if !nilSpec.IsFlat() {
+		t.Fatal("nil spec must be flat")
+	}
+	g, err := Build(nil, 8, 6.0)
+	if err != nil || g != nil {
+		t.Fatalf("Build(flat) = (%v, %v), want (nil, nil)", g, err)
+	}
+	g, err = Build(&Spec{Kind: Flat}, 8, 6.0)
+	if err != nil || g != nil {
+		t.Fatalf("Build(&{Flat}) = (%v, %v), want (nil, nil)", g, err)
+	}
+}
+
+func TestFatTreeStructure(t *testing.T) {
+	sp := &Spec{Kind: FatTree, Arity: 4, Oversub: 2}
+	g, err := Build(sp, 8, 6.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 nodes x (up+down) + 2 leaves x (up+down) = 20 links.
+	if g.NumLinks() != 20 {
+		t.Fatalf("NumLinks = %d, want 20", g.NumLinks())
+	}
+	// Node links run at the NIC rate, trunks at arity*bw/oversub.
+	if bw := g.Link(g.nodeUp[0]).BW; bw != 6.0 {
+		t.Errorf("node0.up BW = %g, want 6", bw)
+	}
+	if bw := g.Link(g.swUp[0]).BW; bw != 4*6.0/2 {
+		t.Errorf("leaf0.up BW = %g, want 12", bw)
+	}
+	// Same-leaf route: node links only.
+	if got := g.RouteNames(0, 3); !reflect.DeepEqual(got, []string{"node0.up", "node3.down"}) {
+		t.Errorf("route 0->3 = %v", got)
+	}
+	// Cross-leaf route: through both trunks.
+	want := []string{"node1.up", "leaf0.up", "leaf1.down", "node6.down"}
+	if got := g.RouteNames(1, 6); !reflect.DeepEqual(got, want) {
+		t.Errorf("route 1->6 = %v, want %v", got, want)
+	}
+	if g.Route(5, 5) != nil {
+		t.Error("same-node route must be nil")
+	}
+}
+
+func TestDragonflyStructure(t *testing.T) {
+	sp := &Spec{Kind: Dragonfly, GroupSize: 2}
+	g, err := Build(sp, 6, 8.0) // 3 groups of 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 nodes x 2 + 3*2 ordered group pairs = 18 links.
+	if g.NumLinks() != 18 {
+		t.Fatalf("NumLinks = %d, want 18", g.NumLinks())
+	}
+	if got := g.RouteNames(0, 1); !reflect.DeepEqual(got, []string{"node0.up", "node1.down"}) {
+		t.Errorf("intra-group route = %v", got)
+	}
+	want := []string{"node0.up", "grp0-grp2", "node5.down"}
+	if got := g.RouteNames(0, 5); !reflect.DeepEqual(got, want) {
+		t.Errorf("cross-group route = %v, want %v", got, want)
+	}
+	// Reverse direction uses the opposite global link.
+	want = []string{"node5.up", "grp2-grp0", "node0.down"}
+	if got := g.RouteNames(5, 0); !reflect.DeepEqual(got, want) {
+		t.Errorf("reverse route = %v, want %v", got, want)
+	}
+}
+
+func TestCustomStructure(t *testing.T) {
+	sp := &Spec{Kind: Custom, NodeSwitch: []int{0, 0, 0, 1}, Oversub: 2}
+	g, err := Build(sp, 4, 6.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trunk bandwidth scales with switch membership: sw0 has 3 nodes.
+	if bw := g.Link(g.swUp[0]).BW; bw != 3*6.0/2 {
+		t.Errorf("sw0.up BW = %g, want 9", bw)
+	}
+	if bw := g.Link(g.swUp[1]).BW; bw != 1*6.0/2 {
+		t.Errorf("sw1.up BW = %g, want 3", bw)
+	}
+	want := []string{"node2.up", "sw0.up", "sw1.down", "node3.down"}
+	if got := g.RouteNames(2, 3); !reflect.DeepEqual(got, want) {
+		t.Errorf("route 2->3 = %v, want %v", got, want)
+	}
+	// Short map is an error.
+	if _, err := Build(sp, 5, 6.0); err == nil {
+		t.Error("expected error for short custom map")
+	}
+}
+
+func TestRouteDeterminism(t *testing.T) {
+	for _, sp := range []*Spec{
+		{Kind: FatTree, Arity: 3, Oversub: 2},
+		{Kind: Dragonfly, GroupSize: 3},
+		{Kind: Custom, NodeSwitch: []int{0, 1, 2, 0, 1, 2, 0}},
+	} {
+		a, err := Build(sp, 7, 5.0)
+		if err != nil {
+			t.Fatalf("%v: %v", sp, err)
+		}
+		b, _ := Build(sp, 7, 5.0)
+		if !reflect.DeepEqual(a.Links(), b.Links()) {
+			t.Fatalf("%v: link arrays differ between builds", sp)
+		}
+		for s := 0; s < 7; s++ {
+			for d := 0; d < 7; d++ {
+				if !reflect.DeepEqual(a.Route(s, d), b.Route(s, d)) {
+					t.Fatalf("%v: route %d->%d differs between builds", sp, s, d)
+				}
+				for _, id := range a.Route(s, d) {
+					if id < 0 || id >= a.NumLinks() {
+						t.Fatalf("%v: route %d->%d has bad link id %d", sp, s, d, id)
+					}
+				}
+			}
+		}
+	}
+}

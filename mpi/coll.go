@@ -70,7 +70,9 @@ func (c *Comm) Reduce(buf []byte, op ReduceOp, root int) {
 
 // Iallreduce starts a nonblocking all-reduce of buf (in place on all
 // ranks). Small payloads use recursive doubling; payloads above
-// coll.RingThreshold use the bandwidth-optimal ring algorithm.
+// coll.RingThreshold use the bandwidth-optimal ring algorithm, or the
+// node-aware hierarchical schedule when the fabric carries an explicit
+// topology.
 func (c *Comm) Iallreduce(buf []byte, op ReduceOp) Request {
 	g, tag := c.group(), c.nextCollTag()
 	return c.icoll(func(t *vclock.Task) proto.Req {
@@ -159,11 +161,13 @@ func (c *Comm) AlltoallBytes(bs int) {
 	c.Wait(&r)
 }
 
-// IallreduceBytes starts a phantom nonblocking allreduce of n bytes.
+// IallreduceBytes starts a phantom nonblocking allreduce of n bytes,
+// using the same algorithm selection as Iallreduce (including the
+// topology-aware hierarchical schedule when the fabric has one).
 func (c *Comm) IallreduceBytes(n int) Request {
 	g, tag := c.group(), c.nextCollTag()
 	return c.icoll(func(t *vclock.Task) proto.Req {
-		return coll.IallreduceN(t, c.st.eng, g, n, tag)
+		return coll.IallreduceAutoN(t, c.st.eng, g, n, tag)
 	})
 }
 

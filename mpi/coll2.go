@@ -86,3 +86,21 @@ func (c *Comm) IallreduceRing(buf []byte, op ReduceOp) Request {
 		return coll.IallreduceRing(t, c.st.eng, g, buf, op, tag)
 	})
 }
+
+// IallreduceHier starts the topology-aware hierarchical allreduce
+// explicitly: intra-node reduce-scatter over shared memory, concurrent
+// inter-node rings, intra-node allgather (Iallreduce selects it
+// automatically for large payloads when the fabric has an explicit
+// topology). len(buf) must be a multiple of 8.
+func (c *Comm) IallreduceHier(buf []byte, op ReduceOp) Request {
+	g, tag := c.group(), c.nextCollTag()
+	return c.icoll(func(t *vclock.Task) proto.Req {
+		return coll.IallreduceHier(t, c.st.eng, g, buf, op, tag)
+	})
+}
+
+// AllreduceHier is the blocking hierarchical allreduce.
+func (c *Comm) AllreduceHier(buf []byte, op ReduceOp) {
+	r := c.IallreduceHier(buf, op)
+	c.Wait(&r)
+}

@@ -362,6 +362,19 @@ func Run(cfg Config, program func(env *Env)) Result {
 	var runTrace *obs.RunTrace
 	if cfg.Trace != nil {
 		runTrace = cfg.Trace.StartRun(fmt.Sprintf("%s x%d", cfg.Approach, n), n)
+		if fab.Hierarchical() {
+			// Feed the fabric's per-link occupancy samples into the run
+			// trace (Chrome counter tracks) and let the critical-path
+			// analyzer attribute network time to routed links. Flat runs
+			// record nothing, keeping their exports byte-identical.
+			names := make([]string, 0)
+			for _, l := range fab.LinkStats() {
+				names = append(names, l.Name)
+			}
+			runTrace.SetLinks(names)
+			fab.SetLinkSampler(runTrace.LinkSample)
+			runTrace.PathOf = fab.PathNames
+		}
 	}
 
 	for r := 0; r < n; r++ {
@@ -413,6 +426,7 @@ func Run(cfg Config, program func(env *Env)) Result {
 	res.Net = fab.Stats()
 	res.Resilience = resilienceOf(fab, engs)
 	res.Metrics = metricsOf(engs, offs)
+	res.Metrics.Links = linkMetricsOf(fab)
 	if runTrace != nil {
 		res.RankObs = make([]obs.RankMetrics, n)
 		for r, rec := range runTrace.Ranks {

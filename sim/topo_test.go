@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mpioffload/internal/model"
+	"mpioffload/internal/obs"
+	"mpioffload/internal/obs/critpath"
+	"mpioffload/internal/topo"
+)
+
+// fatTreeProfile is the Endeavor profile over an explicit 2:1-oversubscribed
+// fat-tree with two ranks per node.
+func fatTreeProfile() *model.Profile {
+	p := model.Endeavor()
+	p.RanksPerNode = 2
+	p.Topo = &topo.Spec{Kind: topo.FatTree, Arity: 4, Oversub: 2}
+	return p
+}
+
+// ringRun shifts a rendezvous-size message around the rank ring so traffic
+// crosses node uplinks; returns the run result.
+func ringRun(ranks, size int, p *model.Profile, tr *obs.Trace) Result {
+	return Run(Config{Ranks: ranks, Approach: Offload, Profile: p, Trace: tr},
+		func(env *Env) {
+			c := env.World
+			right := (env.Rank() + 1) % env.Size()
+			left := (env.Rank() + env.Size() - 1) % env.Size()
+			sbuf := make([]byte, size)
+			rbuf := make([]byte, size)
+			for i := 0; i < 4; i++ {
+				rr := c.Irecv(rbuf, left, i)
+				rs := c.Isend(sbuf, right, i)
+				c.Wait(&rr)
+				c.Wait(&rs)
+			}
+		})
+}
+
+// TestFlatGoldenTraceGuard is the flat-preservation guard: with all the
+// topology machinery compiled in, a flat-topology run must record zero
+// link data and export byte-for-byte the checked-in golden trace — the
+// same bytes the pre-topology exporter produced.
+func TestFlatGoldenTraceGuard(t *testing.T) {
+	tr := obs.NewTrace(obs.Options{})
+	res := latencyRun(Offload, 512, 2, tr)
+	run := tr.Runs[0]
+	if len(run.LinkNames) != 0 || len(run.LinkSamples) != 0 || run.PathOf != nil {
+		t.Fatalf("flat run recorded link data: names=%d samples=%d pathOf=%v",
+			len(run.LinkNames), len(run.LinkSamples), run.PathOf != nil)
+	}
+	if res.Metrics.Links != nil {
+		t.Fatalf("flat run produced link metrics: %+v", res.Metrics.Links)
+	}
+	var out bytes.Buffer
+	if err := obs.WriteChrome(&out, tr); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "pingpong_trace.json"))
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Fatalf("flat export differs from golden (%d vs %d bytes): topology code leaked into the flat path",
+			out.Len(), len(want))
+	}
+}
+
+// TestTopoRunLinkObservability checks the whole per-link pipeline on a
+// fat-tree run: fabric counters surface in Metrics.Links, the Chrome
+// export gains a network pseudo-process with per-link counter tracks, and
+// the critical-path report refines network time per link without breaking
+// the attribution-sum invariant tracetool -check enforces.
+func TestTopoRunLinkObservability(t *testing.T) {
+	tr := obs.NewTrace(obs.Options{})
+	res := ringRun(8, 256<<10, fatTreeProfile(), tr)
+
+	if len(res.Metrics.Links) == 0 {
+		t.Fatal("topology run produced no link metrics")
+	}
+	var busy float64
+	var msgs int64
+	for _, l := range res.Metrics.Links {
+		if l.Name == "" {
+			t.Fatal("unnamed link in metrics")
+		}
+		busy += l.BusyNs
+		msgs += l.Msgs
+	}
+	if busy <= 0 || msgs <= 0 {
+		t.Fatalf("links carried no traffic: busy=%v msgs=%d", busy, msgs)
+	}
+
+	run := tr.Runs[0]
+	if len(run.LinkNames) == 0 || len(run.LinkSamples) == 0 {
+		t.Fatalf("run trace missing link data: names=%d samples=%d",
+			len(run.LinkNames), len(run.LinkSamples))
+	}
+	var out bytes.Buffer
+	if err := obs.WriteChrome(&out, tr); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	export := out.String()
+	for _, want := range []string{
+		`"offload x8 network"`, // the pseudo-process
+		`"ph":"C","pid":999`,   // a link counter track in it
+		`"links":[`,            // link names in the run metadata
+	} {
+		if !bytes.Contains(out.Bytes(), []byte(want)) {
+			t.Fatalf("export missing %s\n(len %d)", want, len(export))
+		}
+	}
+
+	reports := critpath.Analyze(tr)
+	rep := reports[0]
+	if rep.Sum() != rep.Total {
+		t.Fatalf("attribution no longer sums: %d vs %d", rep.Sum(), rep.Total)
+	}
+	if rep.Ns[critpath.Network] > 0 {
+		if len(rep.NetLinks) == 0 {
+			t.Fatal("network time on the critical path but no per-link refinement")
+		}
+		var sum int64
+		for _, l := range rep.NetLinks {
+			sum += l.Ns
+		}
+		if sum != rep.Ns[critpath.Network] {
+			t.Fatalf("link refinement sums to %d, network category is %d",
+				sum, rep.Ns[critpath.Network])
+		}
+	}
+}
+
+// TestTopoLinkDeterminismUnderJitter checks the acceptance criterion that
+// per-link utilization is byte-deterministic under seeded jitter: two runs
+// with the same seed must export identical traces (including the link
+// counter tracks) and identical link counters.
+func TestTopoLinkDeterminismUnderJitter(t *testing.T) {
+	export := func() ([]byte, []LinkMetrics) {
+		p := fatTreeProfile()
+		p.LinkJitter = 0.05
+		p.JitterSeed = 42
+		tr := obs.NewTrace(obs.Options{})
+		res := ringRun(8, 64<<10, p, tr)
+		var out bytes.Buffer
+		if err := obs.WriteChrome(&out, tr); err != nil {
+			t.Fatalf("WriteChrome: %v", err)
+		}
+		return out.Bytes(), res.Metrics.Links
+	}
+	e1, l1 := export()
+	e2, l2 := export()
+	if !bytes.Equal(e1, e2) {
+		t.Fatal("same jitter seed produced different trace bytes")
+	}
+	if fmt.Sprintf("%+v", l1) != fmt.Sprintf("%+v", l2) {
+		t.Fatalf("same jitter seed produced different link metrics:\n%+v\n%+v", l1, l2)
+	}
+}
+
+// TestMetricsLinksAddMergesByName checks the aggregate: Add must merge
+// link entries by name (summing counters, max-ing peaks) and append
+// unseen names.
+func TestMetricsLinksAddMergesByName(t *testing.T) {
+	var m Metrics
+	m.Add(Metrics{Links: []LinkMetrics{
+		{Name: "up/0", Msgs: 2, Bytes: 100, BusyNs: 10, WaitNs: 1, MaxQueue: 3},
+		{Name: "up/1", Msgs: 1, Bytes: 50, BusyNs: 5, MaxQueue: 1},
+	}})
+	m.Add(Metrics{Links: []LinkMetrics{
+		{Name: "up/0", Msgs: 3, Bytes: 200, BusyNs: 20, WaitNs: 2, MaxQueue: 2},
+		{Name: "down/0", Msgs: 1, Bytes: 10, BusyNs: 1, MaxQueue: 1},
+	}})
+	if len(m.Links) != 3 {
+		t.Fatalf("want 3 merged links, got %d: %+v", len(m.Links), m.Links)
+	}
+	up0 := m.Links[0]
+	if up0.Name != "up/0" || up0.Msgs != 5 || up0.Bytes != 300 || up0.BusyNs != 30 ||
+		up0.WaitNs != 3 || up0.MaxQueue != 3 {
+		t.Fatalf("bad merge of up/0: %+v", up0)
+	}
+	if m.Links[1].Name != "up/1" || m.Links[2].Name != "down/0" {
+		t.Fatalf("merge lost first-seen order: %+v", m.Links)
+	}
+}
