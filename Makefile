@@ -17,14 +17,20 @@
 #                     pass the topo/v1 validator — including the claim that
 #                     the hierarchical allreduce beats the flat ring at
 #                     >= 1 MiB on the 2:1-oversubscribed fat-tree.
+#   make chaos-smoke  full chaos sweep (cmd/chaosbench: fault plans x
+#                     topologies x approaches) whose output must pass the
+#                     chaos/v1 validator — zero invariant violations, dead
+#                     links rerouted around, crashes detected and recovered
+#                     from, offload detection no slower than baseline.
 #   make mtscale      full sweep, regenerates BENCH_mtscale.json in place.
 #   make topo         full sweep, regenerates BENCH_topo.json in place.
+#   make chaos        full sweep, regenerates BENCH_chaos.json in place.
 
 GO ?= go
 
-.PHONY: ci vet build test race bench-smoke critpath-smoke topo-smoke mtscale topo
+.PHONY: ci vet build test race bench-smoke critpath-smoke topo-smoke chaos-smoke mtscale topo chaos
 
-ci: vet build test race bench-smoke critpath-smoke topo-smoke
+ci: vet build test race bench-smoke critpath-smoke topo-smoke chaos-smoke
 
 vet:
 	$(GO) vet ./...
@@ -36,7 +42,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/... ./sim ./rt/...
+	$(GO) test -race ./internal/... ./sim ./rt/... ./mpi ./bench
 
 bench-smoke:
 	$(GO) run ./cmd/mtbench -mtscale -out /tmp/mtscale_smoke.json -scale-iters 3 -rt-iters 512
@@ -50,6 +56,10 @@ topo-smoke:
 	$(GO) run ./cmd/topobench -iters 1 -out /tmp/topo_smoke.json > /dev/null
 	$(GO) run ./cmd/topobench -validate /tmp/topo_smoke.json
 
+chaos-smoke:
+	$(GO) run ./cmd/chaosbench -out /tmp/chaos_smoke.json > /dev/null
+	$(GO) run ./cmd/chaosbench -validate /tmp/chaos_smoke.json
+
 mtscale:
 	$(GO) run ./cmd/mtbench -mtscale -out BENCH_mtscale.json
 	$(GO) run ./cmd/mtbench -validate BENCH_mtscale.json
@@ -57,3 +67,7 @@ mtscale:
 topo:
 	$(GO) run ./cmd/topobench -out BENCH_topo.json
 	$(GO) run ./cmd/topobench -validate BENCH_topo.json
+
+chaos:
+	$(GO) run ./cmd/chaosbench -out BENCH_chaos.json
+	$(GO) run ./cmd/chaosbench -validate BENCH_chaos.json

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mpioffload/bench"
+	"mpioffload/internal/model"
+	"mpioffload/internal/topo"
+	"mpioffload/sim"
+)
+
+// cellFor runs one real chaos cell on the fat-tree axis.
+func cellFor(t *testing.T, plan string, a sim.Approach) bench.ChaosCellResult {
+	t.Helper()
+	const ts = "fattree:arity=4,oversub=2,trunks=2"
+	spec, err := topo.Parse(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := model.Endeavor()
+	p.RanksPerNode = 1
+	p.Topo = spec
+	cs := specFor(ts, plan, 1)
+	if cs.Crash {
+		cs.Fault.Crashes[0].Rank = 7
+	}
+	return bench.ChaosCell(sim.Config{Approach: a, Profile: p, Watchdog: 600_000}, 8, cs)
+}
+
+// TestChaosCellInvariants runs the trunkdown and crash cells end to end and
+// checks the invariants -validate enforces on the full sweep.
+func TestChaosCellInvariants(t *testing.T) {
+	td := cellFor(t, "trunkdown", sim.Baseline)
+	if len(td.Violations) != 0 {
+		t.Fatalf("trunkdown cell violated invariants: %v", td.Violations)
+	}
+	if td.Rerouted == 0 {
+		t.Fatalf("trunkdown cell rerouted nothing: %+v", td)
+	}
+	if len(td.FailDropLinks) == 0 || td.FailDropLinks[0].Link != "leaf0.up0" {
+		t.Fatalf("trunkdown drops unattributed: %+v", td.FailDropLinks)
+	}
+
+	cr := cellFor(t, "crash", sim.Offload)
+	if len(cr.Violations) != 0 {
+		t.Fatalf("crash cell violated invariants: %v", cr.Violations)
+	}
+	if cr.DetectNs <= 0 || cr.RecoverNs < cr.DetectNs {
+		t.Fatalf("crash cell timings wrong: detect=%f recover=%f", cr.DetectNs, cr.RecoverNs)
+	}
+}
+
+// TestChaosReportSchema assembles a reduced report from real cells and
+// round-trips it through the file validator -validate uses.
+func TestChaosReportSchema(t *testing.T) {
+	rep := &ChaosReport{Schema: chaosSchema, Profile: "endeavor-xeon", Ranks: 8, Seed: 1, WatchdogNs: 600_000}
+	for _, plan := range planAxis {
+		for _, a := range approachAxis {
+			rep.Cells = append(rep.Cells, cellFor(t, plan, a))
+		}
+	}
+	// The reduced sweep has 8 cells; the validator demands 12, so pad with
+	// a copy of the drop cells under the dragonfly label (structure-only).
+	for i := 0; i < 4; i++ {
+		c := rep.Cells[i]
+		c.Topo = "dragonfly:group=2"
+		rep.Cells = append(rep.Cells, c)
+	}
+	if err := validateChaos(rep); err != nil {
+		t.Fatalf("generated report invalid: %v", err)
+	}
+
+	path := filepath.Join(t.TempDir(), "chaos.json")
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := validateChaosFile(path); err != nil {
+		t.Fatalf("file validation: %v", err)
+	}
+}
+
+// TestChaosValidatorRejects: the validator must catch structural damage,
+// surviving violations, and a regressed detection headline.
+func TestChaosValidatorRejects(t *testing.T) {
+	good := func() *ChaosReport {
+		rep := &ChaosReport{Schema: chaosSchema, Profile: "endeavor-xeon", Ranks: 8, Seed: 1, WatchdogNs: 600_000}
+		for _, ts := range []string{"fattree:arity=4,oversub=2,trunks=2", "dragonfly:group=2"} {
+			for _, plan := range planAxis {
+				for _, a := range []string{"baseline", "offload"} {
+					c := bench.ChaosCellResult{
+						Topo: ts, Plan: plan, Approach: a, Ranks: 8, ElapsedNs: 1_000_000,
+					}
+					switch plan {
+					case "drop":
+						c.Retransmits = 10
+						c.RecoveryPathNs = 5000
+					case "trunkdown":
+						c.Rerouted = 40
+						c.LinkDrops = 3
+						c.FailDropLinks = []bench.ChaosLinkDrops{{Link: "leaf0.up0", Drops: 3}}
+					case "flap":
+						c.LinkStalls = 20
+					case "crash":
+						c.DetectNs = 650_000
+						c.RecoverNs = 730_000
+						if a == "offload" {
+							c.DetectNs = 655_000
+						}
+					}
+					rep.Cells = append(rep.Cells, c)
+				}
+			}
+		}
+		return rep
+	}
+	if err := validateChaos(good()); err != nil {
+		t.Fatalf("baseline report should validate: %v", err)
+	}
+	cases := map[string]func(*ChaosReport){
+		"wrong schema":      func(r *ChaosReport) { r.Schema = "chaos/v0" },
+		"missing profile":   func(r *ChaosReport) { r.Profile = "" },
+		"too few cells":     func(r *ChaosReport) { r.Cells = r.Cells[:8] },
+		"violation":         func(r *ChaosReport) { r.Cells[0].Violations = []string{"boom"} },
+		"no retransmits":    func(r *ChaosReport) { r.Cells[0].Retransmits = 0 },
+		"no reroute":        func(r *ChaosReport) { r.Cells[2].Rerouted = 0 },
+		"unattributed drop": func(r *ChaosReport) { r.Cells[2].FailDropLinks = nil },
+		"no stalls":         func(r *ChaosReport) { r.Cells[4].LinkStalls = 0 },
+		"undetected crash":  func(r *ChaosReport) { r.Cells[6].DetectNs = 0 },
+		"slow offload detection": func(r *ChaosReport) {
+			for i := range r.Cells {
+				if r.Cells[i].Plan == "crash" && r.Cells[i].Approach == "offload" {
+					r.Cells[i].DetectNs = 2_000_000
+				}
+			}
+		},
+		"no recovery attribution": func(r *ChaosReport) {
+			for i := range r.Cells {
+				r.Cells[i].RecoveryPathNs = 0
+			}
+		},
+	}
+	for name, corrupt := range cases {
+		r := good()
+		corrupt(r)
+		if err := validateChaos(r); err == nil {
+			t.Errorf("%s: validator accepted a corrupt report", name)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"mpioffload/bench"
+)
+
+// chaosSchema versions BENCH_chaos.json; bump on incompatible change.
+const chaosSchema = "chaos/v1"
+
+// ChaosReport is the BENCH_chaos.json document: one cell per
+// (topology, plan, approach) of the sweep.
+type ChaosReport struct {
+	Schema     string                  `json:"schema"`
+	Profile    string                  `json:"profile"`
+	Ranks      int                     `json:"ranks"`
+	Seed       int64                   `json:"seed"`
+	WatchdogNs float64                 `json:"watchdog_ns"`
+	Cells      []bench.ChaosCellResult `json:"cells"`
+}
+
+// validateChaos checks a report's structure and the sweep's headline
+// claims. Virtual time is deterministic, so the behavioural assertions
+// (rerouting happened, crashes were detected, the offload path detects no
+// later than the baseline) are safe to enforce on any machine.
+func validateChaos(rep *ChaosReport) error {
+	if rep.Schema != chaosSchema {
+		return fmt.Errorf("schema %q, want %q", rep.Schema, chaosSchema)
+	}
+	if rep.Profile == "" {
+		return fmt.Errorf("missing profile")
+	}
+	if rep.Ranks < 4 {
+		return fmt.Errorf("sweep needs >= 4 ranks, has %d", rep.Ranks)
+	}
+	if len(rep.Cells) < 12 {
+		return fmt.Errorf("sweep has %d cells, want >= 12", len(rep.Cells))
+	}
+
+	detect := make(map[string]float64) // "topo|approach" → crash DetectNs
+	var recoveryAttributed bool
+	for _, c := range rep.Cells {
+		id := fmt.Sprintf("%s/%s/%s", c.Topo, c.Plan, c.Approach)
+		if len(c.Violations) != 0 {
+			return fmt.Errorf("%s: %d invariant violations, first: %s", id, len(c.Violations), c.Violations[0])
+		}
+		if c.ElapsedNs <= 0 {
+			return fmt.Errorf("%s: empty cell", id)
+		}
+		switch c.Plan {
+		case "drop":
+			if c.Retransmits == 0 {
+				return fmt.Errorf("%s: lossy cell recovered nothing", id)
+			}
+		case "trunkdown":
+			if c.Rerouted == 0 {
+				return fmt.Errorf("%s: dead link was never rerouted around", id)
+			}
+			if len(c.FailDropLinks) == 0 && c.LinkDrops > 0 {
+				return fmt.Errorf("%s: link drops unattributed to a link", id)
+			}
+		case "flap":
+			if c.LinkStalls == 0 {
+				return fmt.Errorf("%s: flap window stalled no packets", id)
+			}
+		case "crash":
+			if c.DetectNs <= 0 {
+				return fmt.Errorf("%s: crash never detected", id)
+			}
+			if c.RecoverNs < c.DetectNs {
+				return fmt.Errorf("%s: recovered (%f) before detecting (%f)", id, c.RecoverNs, c.DetectNs)
+			}
+			detect[c.Topo+"|"+c.Approach] = c.DetectNs
+		default:
+			return fmt.Errorf("%s: unknown plan", id)
+		}
+		if c.RecoveryPathNs > 0 {
+			recoveryAttributed = true
+		}
+	}
+
+	// Headline: offloading the communication must not delay failure
+	// detection — the offload thread's watchdog fires no later than the
+	// baseline's (small slack for schedule skew around the deadline).
+	checked := 0
+	for key, off := range detect {
+		topo := key[:len(key)-len("|offload")]
+		if key[len(topo):] != "|offload" {
+			continue
+		}
+		base, ok := detect[topo+"|baseline"]
+		if !ok {
+			return fmt.Errorf("crash cell %s has no baseline counterpart", key)
+		}
+		if off > base*1.10+50_000 {
+			return fmt.Errorf("offload detected the crash in %.0f ns, baseline in %.0f ns — offloading delayed detection", off, base)
+		}
+		checked++
+	}
+	if checked == 0 {
+		return fmt.Errorf("sweep has no offload/baseline crash pair to compare")
+	}
+	if !recoveryAttributed {
+		return fmt.Errorf("no cell attributed critical-path time to recovery")
+	}
+	return nil
+}
+
+// validateChaosFile loads and validates a BENCH_chaos.json document.
+func validateChaosFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep ChaosReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return validateChaos(&rep)
+}

@@ -51,6 +51,7 @@ func main() {
 		{"Fig 14 (CNN training)", []string{"run", "./cmd/cnnbench", "-iters=" + iters}},
 		{"Enqueue scaling (BENCH_mtscale.json)", []string{"run", "./cmd/mtbench", "-mtscale", "-scale-iters=" + mtIters}},
 		{"Topology sweep (BENCH_topo.json)", []string{"run", "./cmd/topobench", "-iters=" + iters}},
+		{"Chaos sweep (BENCH_chaos.json)", []string{"run", "./cmd/chaosbench"}},
 	}
 
 	start := time.Now()

@@ -68,11 +68,19 @@ type Sched struct {
 	outstanding int
 	other       []proto.Req // rare: sub-requests that are not *proto.Op
 	done        bool
+	err         error
 	onDone      []func()
 }
 
 // Done reports whether the collective has completed.
 func (s *Sched) Done() bool { return s.done }
+
+// Failed returns the first error any of the collective's point-to-point
+// operations completed with (a watchdog timeout, a failed peer) — nil for
+// a clean collective. The schedule still runs to completion: failed ops
+// complete (with Err set), so phases drain instead of wedging, and the
+// caller decides whether the result is trustworthy.
+func (s *Sched) Failed() error { return s.err }
 
 // OnDone registers a completion callback (proto.Notifier), invoked
 // immediately if the schedule has already completed.
@@ -87,7 +95,10 @@ func (s *Sched) OnDone(fn func()) {
 // String identifies the schedule in diagnostics.
 func (s *Sched) String() string { return fmt.Sprintf("%s[phase %d/%d]", s.name, s.cur, len(s.phases)) }
 
-// arm registers completion tracking for a phase's requests.
+// arm registers completion tracking for a phase's requests. An op that
+// completes with an error (watchdog timeout, dead peer) records the first
+// such error on the schedule instead of silently vanishing into the
+// phase counter.
 func (s *Sched) arm(reqs []proto.Req) {
 	s.other = s.other[:0]
 	for _, r := range reqs {
@@ -96,8 +107,22 @@ func (s *Sched) arm(reqs []proto.Req) {
 		}
 		if op, ok := r.(*proto.Op); ok {
 			s.outstanding++
-			op.OnDone(func() { s.outstanding-- })
+			op.OnDone(func() {
+				s.outstanding--
+				if op.Err != nil && s.err == nil {
+					s.err = op.Err
+				}
+			})
 		} else {
+			if f, ok := r.(interface{ Failed() error }); ok {
+				if n, ok := r.(proto.Notifier); ok {
+					n.OnDone(func() {
+						if err := f.Failed(); err != nil && s.err == nil {
+							s.err = err
+						}
+					})
+				}
+			}
 			s.other = append(s.other, r)
 		}
 	}

@@ -88,13 +88,14 @@ type Stats struct {
 // MaxQueue is the peak number of messages simultaneously in flight on or
 // queued for the link.
 type LinkStat struct {
-	Name     string
-	Msgs     int64
-	Bytes    int64
-	BusyNs   float64
-	WaitNs   float64
-	MaxQueue int
-	WaitH    obs.Hist
+	Name      string
+	Msgs      int64
+	Bytes     int64
+	BusyNs    float64
+	WaitNs    float64
+	MaxQueue  int
+	FailDrops int64 // recoverable packets eaten by this link while failed
+	WaitH     obs.Hist
 }
 
 // Fabric connects n ranks. It is not safe for use outside the owning
@@ -165,9 +166,14 @@ func New(k *vclock.Kernel, p *model.Profile, n int) *Fabric {
 
 // SetFault instates a fault-injection plan. Call before any traffic flows
 // (the protocol engines read the injector at construction to decide whether
-// to run reliable delivery). A nil plan is a no-op.
+// to run reliable delivery). A nil plan is a no-op. A plan naming links or
+// switches the active topology does not have — or naming any under the
+// flat topology — panics here, at setup, before any traffic flows.
 func (f *Fabric) SetFault(p *fault.Plan) {
 	f.inj = fault.NewInjector(p)
+	if err := f.inj.Bind(f.g); err != nil {
+		panic("fabric: " + err.Error())
+	}
 }
 
 // Fault returns the active fault injector (nil when no plan is set).
@@ -259,6 +265,19 @@ func (f *Fabric) Send(src, dst, bytes int, bwDiv float64, payload any) {
 	if f.jitter != nil {
 		lat *= 1 + f.prof.LinkJitter*(2*f.jitter.Float64()-1)
 	}
+	// Explicit topology: resolve the route now, steering around
+	// permanently failed links once their failure has been detected.
+	// routeFor may delay txStart (path migration of hardware-reliable
+	// traffic) or eat the packet outright (failed link, partition).
+	var route []int
+	if f.g != nil {
+		var ok bool
+		route, txStart, ok = f.routeFor(src, dst, txStart, payload)
+		if !ok {
+			f.txBusy[src] = txStart + float64(bytes)/bw
+			return // the injection port was still occupied
+		}
+	}
 	txEnd := txStart + float64(bytes)/bw
 	f.txBusy[src] = txEnd
 	if drop {
@@ -266,11 +285,10 @@ func (f *Fabric) Send(src, dst, bytes int, bwDiv float64, payload any) {
 	}
 	wireEnd := txEnd
 	if f.g != nil {
-		// Explicit topology: the message's tail must clear every routed
-		// link before ejection can complete. Traversed once — a duplicated
-		// packet re-serializes only through the ejection port below, the
-		// wire carried it once.
-		wireEnd = f.traverse(src, dst, bytes, txStart, txEnd)
+		// The message's tail must clear every routed link before ejection
+		// can complete. Traversed once — a duplicated packet re-serializes
+		// only through the ejection port below, the wire carried it once.
+		wireEnd = f.traverse(route, bytes, txStart, txEnd)
 	}
 	deliver := func() {
 		rxEnd := max(wireEnd+lat, f.rxBusy[dst]+float64(bytes)/bw)
@@ -294,18 +312,79 @@ func (f *Fabric) Send(src, dst, bytes int, bwDiv float64, payload any) {
 	}
 }
 
+// routeFor resolves the route a packet takes at the moment it is sent.
+// On a healthy graph this is the minimal deterministic route. When the
+// plan has permanently killed a link on that route, the outcome depends
+// on where virtual time stands relative to the failure's detection +
+// route-flap window:
+//
+//   - before rerouting is ready, recoverable packets are eaten by the
+//     dead link (the retransmission sublayer retries them later) and
+//     hardware-reliable RDMA traffic is held back until the path migrates
+//     (InfiniBand APM semantics: delayed, never lost);
+//   - after it, RouteAvoid supplies a surviving alternate path — or
+//     reports a partition, which degrades to blackout semantics so the
+//     watchdog layer owns diagnosis.
+//
+// Returns the route, the (possibly delayed) injection start, and whether
+// the packet survives to the wire at all.
+func (f *Fabric) routeFor(src, dst int, txStart float64, payload any) ([]int, float64, bool) {
+	sn, dn := f.nodeOf[src], f.nodeOf[dst]
+	route := f.g.Route(sn, dn)
+	if !f.inj.HasLinkFaults() {
+		return route, txStart, true
+	}
+	now := float64(f.k.Now())
+	ready, deadLink := 0.0, -1
+	for _, li := range route {
+		if f.inj.LinkDead(li, now) {
+			if deadLink < 0 {
+				deadLink = li
+			}
+			if r, ok := f.inj.RerouteReadyAt(li); ok && r > ready {
+				ready = r
+			}
+		}
+	}
+	if deadLink < 0 {
+		return route, txStart, true
+	}
+	if now < ready {
+		if _, recoverable := payload.(Faultable); recoverable {
+			f.inj.NoteLinkDrop()
+			f.linkStats[deadLink].FailDrops++
+			return nil, txStart, false
+		}
+		if ready > txStart {
+			txStart = ready
+		}
+	}
+	alt, ok := f.g.RouteAvoid(sn, dn, func(li int) bool { return f.inj.LinkDead(li, now) })
+	if !ok {
+		f.inj.NoteBlackout()
+		return nil, txStart, false
+	}
+	f.inj.NoteRerouted()
+	return alt, txStart, true
+}
+
 // traverse serializes one inter-node message over its routed links and
 // returns the virtual time the message's tail clears the last link.
 // Cut-through: an idle path costs max over links of one serialization
 // (relative to txStart), never their sum; a busy link stacks this tail on
 // its busy-until clock, which is where trunk oversubscription turns into
-// queueing delay.
-func (f *Fabric) traverse(src, dst, bytes int, txStart, txEnd float64) float64 {
+// queueing delay. A transient link outage is one more lower bound on the
+// tail's departure — the extra delay shows up as queueing wait.
+func (f *Fabric) traverse(route []int, bytes int, txStart, txEnd float64) float64 {
 	t := txEnd
-	for _, li := range f.g.Route(f.nodeOf[src], f.nodeOf[dst]) {
+	for _, li := range route {
 		s := float64(bytes) / f.g.Link(li).BW
 		free := max(t, txStart+s) // uncontended tail departure (pipelined)
 		tl := max(free, f.linkBusy[li]+s)
+		if until, stalled := f.inj.LinkOutage(li, tl-s); stalled {
+			f.inj.NoteLinkStalled()
+			tl = until + s
+		}
 		f.linkBusy[li] = tl
 		st := &f.linkStats[li]
 		st.Msgs++

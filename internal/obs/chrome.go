@@ -311,7 +311,7 @@ func (e *eventWriter) event(pid int, ev Event, rm *runMatch, st *ChromeStats) {
 			fmt.Sprintf(`,"args":{"bytes":%d,"peer":%d%s}`, ev.A, ev.B, flowArg(ev.Flow)))
 	case EvRetransmit:
 		e.instant(pid, ev.TID, "retransmit", ev.TS,
-			fmt.Sprintf(`,"args":{"seq":%d,"peer":%d}`, ev.A, ev.B))
+			fmt.Sprintf(`,"args":{"seq":%d,"peer":%d%s}`, ev.A, ev.B, flowArg(ev.Flow)))
 	case EvWatchdog:
 		e.instant(pid, ev.TID, "watchdog", ev.TS,
 			fmt.Sprintf(`,"args":{"peer":%d}`, ev.A))

@@ -42,13 +42,14 @@ import (
 // Category of critical-path time.
 type Category int
 
-// The five attribution categories.
+// The six attribution categories.
 const (
 	Compute     Category = iota // application-thread time between events
 	QueueWait                   // cmd.enqueue → cmd.dequeue
 	Service                     // offload-thread servicing (dequeue → issue → complete)
 	Network                     // wire hops between flow events on different ranks
 	ProgressGap                 // delivered data waiting for a progress call; NIC gaps
+	Recovery                    // loss recovery: retransmission waits, watchdog diagnosis
 	NumCategories
 )
 
@@ -65,6 +66,8 @@ func (c Category) String() string {
 		return "network"
 	case ProgressGap:
 		return "idle/progress-gap"
+	case Recovery:
+		return "recovery"
 	}
 	return "?"
 }
@@ -82,6 +85,8 @@ func (c Category) metaKey() string {
 		return "network_ns"
 	case ProgressGap:
 		return "progress_gap_ns"
+	case Recovery:
+		return "recovery_ns"
 	}
 	return "?"
 }
@@ -242,9 +247,12 @@ type analyzer struct {
 func (a *analyzer) ev(n node) obs.Event { return a.rd.Events[n.rank][n.idx] }
 
 // chainKinds reports whether the event participates in its flow's chain.
+// Retransmissions carry their payload's flow stamp, so a flow that lost a
+// packet routes its chain through the retries — the RTO waits become
+// walkable (and chargeable to Recovery) instead of invisible.
 func chainKind(k obs.Kind) bool {
 	switch k {
-	case obs.EvIssueEager, obs.EvIssueRdv, obs.EvIssueRecv,
+	case obs.EvIssueEager, obs.EvIssueRdv, obs.EvIssueRecv, obs.EvRetransmit,
 		obs.EvDeliver, obs.EvCTS, obs.EvRdvStart, obs.EvRdvFin, obs.EvEagerLand:
 		return true
 	}
@@ -331,8 +339,13 @@ func (a *analyzer) chargeLinks(src, dst int, ns int64) {
 }
 
 // ctxCat is the category of a generic (same-rank) gap, by the thread
-// class of the event the walk stands on.
-func ctxCat(tid uint8) Category {
+// class and kind of the event the walk stands on: loss-recovery events
+// (retransmissions, watchdog trips) pin the context to Recovery, anything
+// else attributes by thread class.
+func ctxCat(tid uint8, kind obs.Kind) Category {
+	if kind == obs.EvRetransmit || kind == obs.EvWatchdog {
+		return Recovery
+	}
 	switch tid {
 	case obs.TApp:
 		return Compute
@@ -389,7 +402,12 @@ func (a *analyzer) dependency(cur node, T int64) (node, Category, bool) {
 				n := a.chains[ev.Flow][pos-1]
 				if a.usable(n, T) {
 					cat := Network
-					if n.rank == cur.rank {
+					switch {
+					case ev.Kind == obs.EvRetransmit:
+						// The gap before a retransmission is the RTO the
+						// flow sat out waiting for a lost packet's ack.
+						cat = Recovery
+					case n.rank == cur.rank:
 						// Same-rank hop: a delivered packet waited in the
 						// inbox for a progress call.
 						cat = ProgressGap
@@ -414,6 +432,7 @@ func (a *analyzer) walk(rep *Report) {
 	T := a.rd.Elapsed
 	cur := node{rank: rep.EndRank, idx: -1}
 	tid := obs.TApp // walk context before the first event is the app thread
+	var kind obs.Kind
 	for T > 0 {
 		var next node
 		var cat Category
@@ -430,11 +449,11 @@ func (a *analyzer) walk(rep *Report) {
 			if i < 0 {
 				// Nothing earlier on this rank: the remainder is the rank's
 				// lead-in, charged to the standing context.
-				rep.Ns[ctxCat(tid)] += T
+				rep.Ns[ctxCat(tid, kind)] += T
 				rep.Segments++
 				return
 			}
-			next, cat = node{cur.rank, i}, ctxCat(tid)
+			next, cat = node{cur.rank, i}, ctxCat(tid, kind)
 		}
 		nts := a.ev(next).TS
 		rep.Ns[cat] += T - nts
@@ -446,5 +465,6 @@ func (a *analyzer) walk(rep *Report) {
 		a.avail[next.rank] = next.idx - 1
 		cur = next
 		tid = a.ev(next).TID
+		kind = a.ev(next).Kind
 	}
 }

@@ -134,6 +134,7 @@ func decodeEvent(ce chromeEvent) (obs.Event, bool, error) {
 	case obs.EvRetransmit:
 		ev.A = argInt(ce.Args, "seq")
 		ev.B = argInt(ce.Args, "peer")
+		ev.Flow = argInt(ce.Args, "flow")
 	case obs.EvWatchdog:
 		ev.A = argInt(ce.Args, "peer")
 	case obs.EvConvert:

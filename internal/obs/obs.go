@@ -575,12 +575,15 @@ func (r *Recorder) RdvStarted(ts int64, tid uint8, bytes, peer int, flow int64, 
 }
 
 // Retransmitted records a reliable-delivery retransmission (NIC context).
-func (r *Recorder) Retransmitted(ts int64, seq int64, peer int) {
+// flow is the retried payload's causal-flow stamp (0 for unstamped
+// classes); carrying it lets the critical-path walk attribute loss
+// recovery to the flows that actually suffered it.
+func (r *Recorder) Retransmitted(ts int64, seq int64, peer int, flow int64) {
 	if !r.Enabled() {
 		return
 	}
 	r.M.Retransmits++
-	r.push(Event{TS: ts, Kind: EvRetransmit, TID: TNIC, A: seq, B: int64(peer)})
+	r.push(Event{TS: ts, Kind: EvRetransmit, TID: TNIC, A: seq, B: int64(peer), Flow: flow})
 }
 
 // WatchdogTripped records the watchdog failing a request (timer context).

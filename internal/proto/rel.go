@@ -147,6 +147,12 @@ func (e *Engine) rtoFor(n int) float64 {
 // armRetransmit schedules the retransmission check for p after rto ns.
 // Resends back off exponentially (capped) until the ack lands or the retry
 // budget is spent; an abandoned packet is left to the watchdog to report.
+// Each re-arm adds deterministic jitter from the injector's dedicated
+// backoff PRNG: senders that lost packets on the same failed link would
+// otherwise retry in lockstep forever, re-colliding on the recovered
+// path. The jitter stream is separate from the packet-fate stream, and
+// this code only runs under a fault plan, so fault-free timelines are
+// untouched.
 func (e *Engine) armRetransmit(p *relPending, rto float64) {
 	e.K.AfterF(rto, func() {
 		if p.done {
@@ -160,13 +166,14 @@ func (e *Engine) armRetransmit(p *relPending, rto float64) {
 		}
 		p.tries++
 		e.relStats.Retransmits++
-		e.Obs.Retransmitted(e.K.Now(), int64(p.seq), p.dst)
+		flow, _ := flowOfPayload(p.inner)
+		e.Obs.Retransmitted(e.K.Now(), int64(p.seq), p.dst, flow)
 		e.F.Send(e.Rank, p.dst, p.bytes, p.bwDiv, &relMsg{from: e.Rank, seq: p.seq, bytes: p.bytes, inner: p.inner})
 		shift := p.tries
 		if shift > maxBackoffShift {
 			shift = maxBackoffShift
 		}
-		e.armRetransmit(p, rto*float64(int(1)<<shift))
+		e.armRetransmit(p, rto*float64(int(1)<<shift)*(1+e.F.Fault().BackoffJitter()))
 	})
 }
 

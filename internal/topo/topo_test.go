@@ -84,7 +84,7 @@ func TestFatTreeStructure(t *testing.T) {
 	if bw := g.Link(g.nodeUp[0]).BW; bw != 6.0 {
 		t.Errorf("node0.up BW = %g, want 6", bw)
 	}
-	if bw := g.Link(g.swUp[0]).BW; bw != 4*6.0/2 {
+	if bw := g.Link(g.swUp[0][0]).BW; bw != 4*6.0/2 {
 		t.Errorf("leaf0.up BW = %g, want 12", bw)
 	}
 	// Same-leaf route: node links only.
@@ -132,10 +132,10 @@ func TestCustomStructure(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Trunk bandwidth scales with switch membership: sw0 has 3 nodes.
-	if bw := g.Link(g.swUp[0]).BW; bw != 3*6.0/2 {
+	if bw := g.Link(g.swUp[0][0]).BW; bw != 3*6.0/2 {
 		t.Errorf("sw0.up BW = %g, want 9", bw)
 	}
-	if bw := g.Link(g.swUp[1]).BW; bw != 1*6.0/2 {
+	if bw := g.Link(g.swUp[1][0]).BW; bw != 1*6.0/2 {
 		t.Errorf("sw1.up BW = %g, want 3", bw)
 	}
 	want := []string{"node2.up", "sw0.up", "sw1.down", "node3.down"}

@@ -11,12 +11,19 @@ import (
 type ReduceOp = coll.Combine
 
 // icoll routes a collective-schedule constructor through the configured
-// path (direct, locked, or offloaded) and wraps it as a Request.
+// path (direct, locked, or offloaded) and wraps it as a Request. The
+// offload path keeps a reference to the issued schedule so Wait can
+// surface its Failed() state through Status.Err.
 func (c *Comm) icoll(mk func(t *vclock.Task) proto.Req) Request {
 	st := c.st
 	if st.off != nil {
-		h := st.off.Submit(c.t, mk)
-		return Request{off: st.off, h: h}
+		ref := new(proto.Req)
+		h := st.off.Submit(c.t, func(t *vclock.Task) proto.Req {
+			r := mk(t)
+			*ref = r
+			return r
+		})
+		return Request{off: st.off, h: h, collRef: ref}
 	}
 	if st.locked {
 		st.eng.EnterLock(c.t)

@@ -100,6 +100,15 @@ func SumInt64(dst, src []byte) {
 	}
 }
 
+// BorInt64 is the MPI_BOR (bitwise or) operator for int64 buffers; Shrink
+// uses it to agree on the union of every survivor's failed-rank set.
+func BorInt64(dst, src []byte) {
+	d, s := BytesInt64(dst), BytesInt64(src)
+	for i := range d {
+		d[i] |= s[i]
+	}
+}
+
 // SumComplex128 is the MPI_SUM operator for complex128 buffers.
 func SumComplex128(dst, src []byte) {
 	d, s := BytesComplex128(dst), BytesComplex128(src)

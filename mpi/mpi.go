@@ -59,11 +59,12 @@ type Status struct {
 // Request is a pending nonblocking operation. The zero value is a null
 // request (ignored by Wait/Test).
 type Request struct {
-	direct proto.Req
-	off    *core.Offloader
-	h      core.Handle
-	opRef  **proto.Op // offload path: set by the offload thread at issue
-	waited bool
+	direct  proto.Req
+	off     *core.Offloader
+	h       core.Handle
+	opRef   **proto.Op // offload path: set by the offload thread at issue
+	collRef *proto.Req // offload path: collective schedule, set at issue
+	waited  bool
 }
 
 // IsNull reports whether the request is the null request.
@@ -243,6 +244,18 @@ func (r *Request) status() Status {
 	}
 	if op != nil {
 		return Status{Source: op.Stat.Source, Tag: op.Stat.Tag, Count: op.Stat.Count, Err: op.Err}
+	}
+	// Collectives: a schedule whose point-to-point operations were failed
+	// by the watchdog reports the first such error instead of pretending
+	// the (incomplete) result is clean.
+	req := r.direct
+	if req == nil && r.collRef != nil {
+		req = *r.collRef
+	}
+	if f, ok := req.(interface{ Failed() error }); ok {
+		if err := f.Failed(); err != nil {
+			return Status{Err: err}
+		}
 	}
 	return Status{}
 }

@@ -54,6 +54,12 @@ var ErrTimeout = errors.New("rt: request deadline exceeded")
 // negative byte count.
 var ErrTruncate = errors.New("rt: message truncated (receive buffer too small)")
 
+// ErrRankFailed is returned by WaitErr when the watchdog deadline expires
+// and the operation's peer rank has been killed (Cluster.KillRank) — the
+// ULFM-style distinction between "slow" (ErrTimeout) and "dead". Use
+// errors.Is to test for it.
+var ErrRankFailed = errors.New("rt: peer rank failed")
+
 // truncSentinel is the per-slot byte-count sentinel for a truncated
 // receive: Wait/Test surface it as a negative count, WaitErr decodes it to
 // ErrTruncate.
@@ -100,6 +106,9 @@ type Rank struct {
 	inbox *queue.MPMC[message]
 	pool  *reqpool.Pool
 	count []int32 // per-slot received byte counts (truncSentinel = error)
+	peer  []int32 // per-slot peer rank, so WaitErr can blame a dead peer
+
+	failed atomic.Bool // set by Cluster.KillRank; the rank's NIC goes dark
 
 	// Matching state: owned by the offload goroutine in Offload mode,
 	// guarded by mu in Direct mode.
@@ -228,6 +237,7 @@ func NewClusterOpts(n int, mode Mode, o Options) *Cluster {
 			inbox:      queue.NewMPMC[message](1 << 12),
 			pool:       reqpool.New(1 << 12),
 			count:      make([]int32, 1<<12),
+			peer:       make([]int32, 1<<12),
 			mu:         make(chan struct{}, 1),
 			posted:     make(map[matchKey][]pending),
 			unexpected: make(map[matchKey][]message),
@@ -246,6 +256,23 @@ func NewClusterOpts(n int, mode Mode, o Options) *Cluster {
 
 // Rank returns rank i's handle.
 func (c *Cluster) Rank(i int) *Rank { return c.ranks[i] }
+
+// KillRank simulates a process failure of rank i: its offload goroutine
+// stops, its NIC goes dark (sends addressed to it are discarded at the
+// wire), and operations blocked on it surface ErrRankFailed from WaitErr
+// once the watchdog deadline passes. Idempotent; safe to call concurrently
+// with traffic. The dead rank's own outstanding handles are abandoned —
+// a killed process has no one left to wait on them.
+func (c *Cluster) KillRank(i int) {
+	r := c.ranks[i]
+	if !r.failed.CompareAndSwap(false, true) {
+		return
+	}
+	r.stop.Store(true)
+}
+
+// Failed reports whether rank i has been killed.
+func (c *Cluster) Failed(i int) bool { return c.ranks[i].failed.Load() }
 
 // Size returns the number of ranks.
 func (c *Cluster) Size() int { return len(c.ranks) }
@@ -322,6 +349,7 @@ func (r *Rank) Isend(buf []byte, dst, tag int) Handle {
 
 func (r *Rank) isend(shard int, buf []byte, dst, tag int) Handle {
 	slot := r.getSlot()
+	atomic.StoreInt32(&r.peer[slot], int32(dst))
 	r.Sends.Add(1)
 	if r.mode == Offload {
 		data := append([]byte(nil), buf...) // serialize into the command
@@ -347,6 +375,7 @@ func (r *Rank) Irecv(buf []byte, src, tag int) Handle {
 
 func (r *Rank) irecv(shard int, buf []byte, src, tag int) Handle {
 	slot := r.getSlot()
+	atomic.StoreInt32(&r.peer[slot], int32(src))
 	r.Recvs.Add(1)
 	if r.mode == Offload {
 		c := cmd{kind: cmdRecv, slot: slot, peer: src, tag: tag, buf: buf}
@@ -413,6 +442,9 @@ func (r *Rank) WaitErr(h Handle) (int, error) {
 		}
 		if time.Now().After(deadline) {
 			r.WatchdogTrips.Add(1)
+			if p := int(atomic.LoadInt32(&r.peer[slot])); p >= 0 && p < r.cluster.Size() && r.cluster.Failed(p) {
+				return 0, fmt.Errorf("%w (rank %d slot %d peer %d after %v)", ErrRankFailed, r.id, slot, p, d)
+			}
 			return 0, fmt.Errorf("%w (rank %d slot %d after %v)", ErrTimeout, r.id, slot, d)
 		}
 		runtime.Gosched()
@@ -463,9 +495,20 @@ func (r *Rank) getSlot() int {
 }
 
 // doSend runs in engine context (offload goroutine, or under the lock).
+// A send to a killed rank completes locally — the eager payload was
+// accepted by the transport — but the wire discards it at the dead NIC
+// (spinning on a dead rank's inbox would wedge the sender's engine once
+// nothing drains it).
 func (r *Rank) doSend(slot, dst, tag int, data []byte) {
 	target := r.cluster.ranks[dst]
+	if target.failed.Load() {
+		r.pool.SetDone(slot)
+		return
+	}
 	for !target.inbox.TryEnqueue(message{src: r.id, tag: tag, data: data}) {
+		if target.failed.Load() {
+			break
+		}
 		runtime.Gosched()
 	}
 	r.pool.SetDone(slot)

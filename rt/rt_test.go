@@ -314,3 +314,49 @@ func TestWaitErrWatchdog(t *testing.T) {
 		})
 	}
 }
+
+func TestKillRankSurfacesErrRankFailed(t *testing.T) {
+	for _, m := range modes() {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			c := NewCluster(3, m)
+			defer c.Close()
+			c.SetWatchdog(50 * time.Millisecond)
+			r := c.Rank(0)
+
+			c.KillRank(2)
+			if !c.Failed(2) {
+				t.Fatal("Failed(2) = false after KillRank")
+			}
+
+			// A receive from the dead rank reports ErrRankFailed, not a
+			// generic timeout.
+			h := r.Irecv(make([]byte, 16), 2, 7)
+			n, err := r.WaitErr(h)
+			if !errors.Is(err, ErrRankFailed) {
+				t.Fatalf("WaitErr = (%d, %v), want ErrRankFailed", n, err)
+			}
+
+			// A send to the dead rank completes (eager: accepted by the
+			// transport, discarded at the dead NIC) instead of wedging.
+			hs := r.Isend([]byte("into the void"), 2, 8)
+			if n, err := r.WaitErr(hs); err != nil {
+				t.Fatalf("send to dead rank: WaitErr = (%d, %v), want clean completion", n, err)
+			}
+
+			// Survivors keep talking normally.
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				c.Rank(1).Send([]byte("alive"), 0, 9)
+			}()
+			buf := make([]byte, 16)
+			n, err = r.WaitErr(r.Irecv(buf, 1, 9))
+			if err != nil || n != 5 || !bytes.Equal(buf[:n], []byte("alive")) {
+				t.Fatalf("survivor receive = (%d, %v) %q, want 5-byte 'alive'", n, err, buf[:n])
+			}
+			wg.Wait()
+		})
+	}
+}

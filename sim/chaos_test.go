@@ -1,0 +1,238 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"mpioffload/internal/fault"
+	"mpioffload/internal/model"
+	"mpioffload/internal/obs"
+	"mpioffload/internal/obs/critpath"
+	"mpioffload/internal/topo"
+	"mpioffload/mpi"
+)
+
+// trunkProfile is a fat-tree with two uplink trunks per leaf switch, so a
+// single trunk can die and traffic still has a surviving path: 8 ranks at 2
+// per node make 4 nodes on 2 leaves (arity 2).
+func trunkProfile() *model.Profile {
+	p := model.Endeavor()
+	p.RanksPerNode = 2
+	p.Topo = &topo.Spec{Kind: topo.FatTree, Arity: 2, Oversub: 1, Trunks: 2}
+	return p
+}
+
+// trunkFailureRun runs the acceptance scenario from the self-healing-fabric
+// issue: an eager stream and a hierarchical (>=RingThreshold) allreduce
+// straddle the permanent failure of trunk leaf0.up0 at t=150µs. Node 0 →
+// node 2 flows hash onto trunk 0, so the stream loses packets during the
+// detection+flap window (exercising retransmission) and the allreduce's
+// rendezvous traffic reroutes onto the surviving trunk.
+func trunkFailureRun(tr *obs.Trace) (Result, []int64) {
+	const n = 8
+	const elems = 32 << 10 // 256 KiB of int64 — well above RingThreshold
+	sums := make([]int64, n)
+	res := Run(Config{
+		Ranks: n, Approach: Baseline, Profile: trunkProfile(),
+		Fault: &fault.Plan{
+			Seed:  7,
+			Links: []fault.LinkDown{{Link: "leaf0.up0", Start: 150_000}},
+		},
+		Watchdog: 5_000_000,
+		Trace:    tr,
+	}, func(env *Env) {
+		c := env.World
+		me := env.Rank()
+
+		// Phase A: an eager stream from rank 0 (node 0, leaf 0) to rank 4
+		// (node 2, leaf 1) paced across the failure instant, so some
+		// packets hit the dead trunk before detection and must retransmit.
+		const streamMsgs = 50
+		if me == 0 {
+			env.ComputeTime(145_000)
+			buf := make([]byte, 1024)
+			for i := 0; i < streamMsgs; i++ {
+				r := c.Isend(buf, 4, 100+i)
+				c.Wait(&r)
+				env.ComputeTime(300)
+			}
+		}
+		if me == 4 {
+			reqs := make([]*mpi.Request, streamMsgs)
+			for i := range reqs {
+				r := c.Irecv(make([]byte, 1024), 0, 100+i)
+				reqs[i] = &r
+			}
+			c.Waitall(reqs...)
+		}
+
+		// Phase B: hierarchical allreduces across the now-degraded fabric.
+		v := make([]int64, elems)
+		for i := range v {
+			v[i] = int64(me + 1)
+		}
+		for it := 0; it < 2; it++ {
+			c.Allreduce(mpi.Int64Bytes(v), mpi.SumInt64)
+			// Undo the fold so every iteration reduces the same inputs.
+			if it == 0 {
+				for i := range v {
+					v[i] = int64(me + 1)
+				}
+			}
+		}
+		sums[me] = v[0]
+	})
+	return res, sums
+}
+
+// TestHierAllreduceSurvivesTrunkFailure is the issue's first acceptance
+// criterion: on a 2-trunk fat-tree with one trunk permanently failed
+// mid-run, the hierarchical allreduce still completes with the correct
+// result (rerouted onto the surviving trunk), the lost packets are
+// retransmitted, and the recovery overhead lands in the critical-path
+// report's recovery category without breaking the attribution-sum
+// invariant.
+func TestHierAllreduceSurvivesTrunkFailure(t *testing.T) {
+	tr := obs.NewTrace(obs.Options{})
+	res, sums := trunkFailureRun(tr)
+
+	want := int64(0)
+	for i := 1; i <= 8; i++ {
+		want += int64(i)
+	}
+	for me, got := range sums {
+		if got != want {
+			t.Fatalf("rank %d allreduce = %d, want %d (trunk failure corrupted the reduction)", me, got, want)
+		}
+	}
+
+	r := res.Resilience
+	if r.Rerouted == 0 {
+		t.Fatalf("no packets rerouted around the dead trunk: %+v", r)
+	}
+	if r.LinkDrops == 0 {
+		t.Fatalf("no packets lost on the dead trunk pre-detection: %+v", r)
+	}
+	if r.Retransmits == 0 {
+		t.Fatalf("lost packets were not retransmitted: %+v", r)
+	}
+	if r.WatchdogTrips != 0 || r.Abandoned != 0 {
+		t.Fatalf("recovery should complete without watchdog intervention: %+v", r)
+	}
+
+	var failDrops int64
+	for _, l := range res.Metrics.Links {
+		if l.Name == "leaf0.up0" {
+			failDrops = l.FailDrops
+		}
+	}
+	if failDrops == 0 {
+		t.Fatalf("dead trunk shows no FailDrops in link metrics: %+v", res.Metrics.Links)
+	}
+
+	rep := critpath.Analyze(tr)[0]
+	if rep.Sum() != rep.Total {
+		t.Fatalf("attribution no longer sums: %d vs %d", rep.Sum(), rep.Total)
+	}
+	if rep.Ns[critpath.Recovery] == 0 {
+		t.Fatalf("retransmission delay not attributed to the recovery category: %+v", rep.Ns)
+	}
+}
+
+// TestChaosRunIsDeterministic: the trunk-failure scenario — drops, reroutes,
+// retransmit backoff jitter and all — must replay identically under the
+// same seed.
+func TestChaosRunIsDeterministic(t *testing.T) {
+	r1, s1 := trunkFailureRun(nil)
+	r2, s2 := trunkFailureRun(nil)
+	if r1.Elapsed != r2.Elapsed {
+		t.Fatalf("elapsed diverged: %d vs %d", r1.Elapsed, r2.Elapsed)
+	}
+	if r1.Resilience != r2.Resilience {
+		t.Fatalf("resilience counters diverged:\n%+v\n%+v", r1.Resilience, r2.Resilience)
+	}
+	if fmt.Sprintf("%v", s1) != fmt.Sprintf("%v", s2) {
+		t.Fatalf("results diverged: %v vs %v", s1, s2)
+	}
+}
+
+// TestAllreduceShrinkAfterCrash is the issue's second acceptance criterion:
+// when a rank crashes mid-run, an allreduce over the old world surfaces an
+// error (instead of wedging until the timeout on every retry), AckFailed
+// names the dead rank, and a Shrink'd communicator completes a correct
+// allreduce over the survivors.
+func TestAllreduceShrinkAfterCrash(t *testing.T) {
+	const n = 4
+	for _, a := range []Approach{Baseline, Offload} {
+		a := a
+		t.Run(a.String(), func(t *testing.T) {
+			errs := make([]error, n)
+			acked := make([][]int, n)
+			shrunk := make([]int, n)
+			sums := make([]int64, n)
+			res := Run(Config{
+				Ranks: n, Approach: a, Profile: interNodeProfile(),
+				Fault:    &fault.Plan{Crashes: []fault.Crash{{Rank: n - 1, At: 150_000}}},
+				Watchdog: 400_000,
+			}, func(env *Env) {
+				me := env.Rank()
+				if me == n-1 {
+					return // the crash victim's program ends here
+				}
+				c := env.World
+				env.ComputeTime(200_000) // post after the peer is dead
+				v := []int64{int64(me + 1)}
+				r := c.Iallreduce(mpi.Int64Bytes(v), mpi.SumInt64)
+				errs[me] = c.Wait(&r).Err
+
+				// ULFM recovery: acknowledge the failure, shrink, retry.
+				acked[me] = c.AckFailed()
+				nc := c.Shrink()
+				if nc == nil {
+					return
+				}
+				shrunk[me] = nc.Size()
+				v2 := []int64{int64(me + 1)}
+				nc.Allreduce(mpi.Int64Bytes(v2), mpi.SumInt64)
+				sums[me] = v2[0]
+			})
+
+			sawErr := false
+			for me := 0; me < n-1; me++ {
+				if errs[me] != nil {
+					sawErr = true
+					if !errors.Is(errs[me], mpi.ErrRankFailed) && !errors.Is(errs[me], mpi.ErrTimeout) {
+						t.Fatalf("rank %d allreduce err = %v, want rank-failed/timeout", me, errs[me])
+					}
+				}
+			}
+			if !sawErr {
+				t.Fatal("no survivor observed the collective failing")
+			}
+			want := int64(0)
+			for i := 1; i < n; i++ {
+				want += int64(i)
+			}
+			for me := 0; me < n-1; me++ {
+				if len(acked[me]) != 1 || acked[me][0] != n-1 {
+					t.Fatalf("rank %d AckFailed = %v, want [%d]", me, acked[me], n-1)
+				}
+				if shrunk[me] != n-1 {
+					t.Fatalf("rank %d shrunk size = %d, want %d", me, shrunk[me], n-1)
+				}
+				if sums[me] != want {
+					t.Fatalf("rank %d survivor allreduce = %d, want %d", me, sums[me], want)
+				}
+			}
+			if res.Resilience.WatchdogTrips == 0 {
+				t.Fatal("the failed collective should have tripped the watchdog")
+			}
+			// The shrunk allreduce must complete promptly — recovery, not
+			// a timeout cascade.
+			if res.Elapsed > 5_000_000 {
+				t.Fatalf("run took %d ns — recovery degenerated into timeout cascades", res.Elapsed)
+			}
+		})
+	}
+}

@@ -80,6 +80,7 @@ type LinkMetrics struct {
 	BusyNs      float64
 	WaitNs      float64
 	MaxQueue    int
+	FailDrops   int64 // packets lost on this link while it was failed
 	WaitH       obs.Hist
 }
 
@@ -95,6 +96,7 @@ func (m *Metrics) addLink(l LinkMetrics) {
 			if l.MaxQueue > m.Links[i].MaxQueue {
 				m.Links[i].MaxQueue = l.MaxQueue
 			}
+			m.Links[i].FailDrops += l.FailDrops
 			m.Links[i].WaitH.Add(l.WaitH)
 			return
 		}
@@ -244,7 +246,8 @@ func linkMetricsOf(fab *fabric.Fabric) []LinkMetrics {
 		out[i] = LinkMetrics{
 			Name: s.Name, Msgs: s.Msgs, Bytes: s.Bytes,
 			BusyNs: s.BusyNs, WaitNs: s.WaitNs, MaxQueue: s.MaxQueue,
-			WaitH: s.WaitH,
+			FailDrops: s.FailDrops,
+			WaitH:     s.WaitH,
 		}
 	}
 	return out

@@ -132,6 +132,9 @@ type Resilience struct {
 	Stalled      int64 // packets delayed by a NIC stall window
 	BlackoutDrop int64 // packets lost to a permanent blackout
 	CrashDrop    int64 // packets silenced by a rank crash
+	LinkStalls   int64 // packets delayed by a transient link/switch outage
+	LinkDrops    int64 // packets lost on a failed link before reroute
+	Rerouted     int64 // packets steered around a failed link
 	// Recovery (protocol side).
 	RelSends    int64 // sequenced packets first-sent
 	Retransmits int64 // timer-driven resends
@@ -150,6 +153,9 @@ func (r *Resilience) Add(o Resilience) {
 	r.Stalled += o.Stalled
 	r.BlackoutDrop += o.BlackoutDrop
 	r.CrashDrop += o.CrashDrop
+	r.LinkStalls += o.LinkStalls
+	r.LinkDrops += o.LinkDrops
+	r.Rerouted += o.Rerouted
 	r.RelSends += o.RelSends
 	r.Retransmits += o.Retransmits
 	r.Acks += o.Acks
@@ -169,6 +175,9 @@ func resilienceOf(fab *fabric.Fabric, engs []*proto.Engine) Resilience {
 		Stalled:      fs.Stalled,
 		BlackoutDrop: fs.BlackoutDrop,
 		CrashDrop:    fs.CrashDrop,
+		LinkStalls:   fs.LinkStalled,
+		LinkDrops:    fs.LinkDrop,
+		Rerouted:     fs.Rerouted,
 	}
 	for _, e := range engs {
 		rs := e.RelStats()
