@@ -8,8 +8,12 @@
 #                     rt layers — the fuzz seeds for the lock-free queues and
 #                     request pool run as unit tests here, so real-goroutine
 #                     interleavings are probed under -race on every CI pass.
-#   make bench-smoke  tiny enqueue-scaling sweep (cmd/mtbench -mtscale) whose
-#                     output must pass the mtscale/v1 schema validator.
+#   make mtscale-smoke  tiny enqueue-scaling sweep (cmd/mtbench -mtscale)
+#                     that must pass the mtscale/v2 schema validator, plus
+#                     validation of the committed BENCH_mtscale.json — whose
+#                     16-thread rows carry the perf gates (sharded <= shared
+#                     ns/post; >= 1.2x completion throughput from 2 agents).
+#                     `bench-smoke` remains as an alias.
 #   make critpath-smoke  tiny traced osubench run piped through cmd/tracetool
 #                     -check: fails unless every run's critical-path
 #                     attribution sums exactly to its elapsed virtual time.
@@ -28,9 +32,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench-smoke critpath-smoke topo-smoke chaos-smoke mtscale topo chaos
+.PHONY: ci vet build test race mtscale-smoke bench-smoke critpath-smoke topo-smoke chaos-smoke mtscale topo chaos
 
-ci: vet build test race bench-smoke critpath-smoke topo-smoke chaos-smoke
+ci: vet build test race mtscale-smoke critpath-smoke topo-smoke chaos-smoke
 
 vet:
 	$(GO) vet ./...
@@ -44,9 +48,12 @@ test:
 race:
 	$(GO) test -race ./internal/... ./sim ./rt/... ./mpi ./bench
 
-bench-smoke:
-	$(GO) run ./cmd/mtbench -mtscale -out /tmp/mtscale_smoke.json -scale-iters 3 -rt-iters 512
+mtscale-smoke:
+	$(GO) run ./cmd/mtbench -mtscale -out /tmp/mtscale_smoke.json -scale-iters 3 -rt-iters 512 -max-threads 8
 	$(GO) run ./cmd/mtbench -validate /tmp/mtscale_smoke.json
+	$(GO) run ./cmd/mtbench -validate BENCH_mtscale.json
+
+bench-smoke: mtscale-smoke
 
 critpath-smoke:
 	$(GO) run ./cmd/osubench -test=latency -iters 2 -approaches offload -trace /tmp/critpath_smoke.json > /dev/null

@@ -383,3 +383,95 @@ func MTPostScaling(cfg sim.Config, threadCounts []int, iters int) []MTScaleResul
 	}
 	return out
 }
+
+// MTAgentCell is one (threads, agents) cell of the agent-scaling sweep:
+// post cost, drain batching, the offload agents' duty-cycle split, polling
+// efficiency, and completion throughput in virtual time. PostsPerMs is the
+// figure the multi-agent engine moves: with a saturated single agent,
+// adding a second (each owning half the submission shards and its own
+// request pool) nearly doubles the service rate, while PostNs stays flat
+// at EnqueueCost — submission was never the bottleneck.
+type MTAgentCell struct {
+	Threads            int     `json:"threads"`
+	Agents             int     `json:"agents"`
+	PostNs             float64 `json:"post_ns"`
+	MeanBatch          float64 `json:"mean_batch"`
+	DutyIssue          float64 `json:"duty_issue"`
+	DutyProgress       float64 `json:"duty_progress"`
+	DutyIdle           float64 `json:"duty_idle"`
+	PollsPerCompletion float64 `json:"polls_per_completion"`
+	PostsPerMs         float64 `json:"posts_per_ms"`
+}
+
+// MTAgentScaling runs the threads × agents grid: every thread posts
+// `iters` nonblocking sends back-to-back (waits batched at the end, so the
+// offload agents — not slot recycling — are the bottleneck) against
+// matching receives on the peer rank. Cells are emitted in (threads,
+// agents) ascending order, the order the validator requires.
+func MTAgentScaling(cfg sim.Config, threadCounts, agentCounts []int, iters int) []MTAgentCell {
+	cfg = interNode(cfg)
+	cfg.Ranks = 2
+	cfg.ThreadLevel = sim.Multiple
+	base := cfg.Profile
+	out := make([]MTAgentCell, 0, len(threadCounts)*len(agentCounts))
+	for _, threads := range threadCounts {
+		for _, agents := range agentCounts {
+			threads, agents := threads, agents
+			p := *base
+			p.Agents = agents
+			cfg.Profile = &p
+			cfg.Trace = obs.NewTrace(obs.Options{})
+			var post float64
+			res := run(cfg, func(env *Env) {
+				sum := make([]float64, threads)
+				cnt := make([]int, threads)
+				env.ParallelN(threads, func(th *sim.Thread) {
+					c := th.Comm
+					tagBase := 10_000 * (th.ID + 1)
+					reqs := make([]mpi.Request, iters)
+					if env.Rank() == 0 {
+						buf := make([]byte, 64)
+						for i := 0; i < iters; i++ {
+							t0 := th.Now()
+							reqs[i] = c.Isend(buf, 1, tagBase+i)
+							sum[th.ID] += float64(th.Now() - t0)
+							cnt[th.ID]++
+						}
+					} else {
+						rbuf := make([]byte, 64)
+						for i := 0; i < iters; i++ {
+							reqs[i] = c.Irecv(rbuf, 0, tagBase+i)
+						}
+					}
+					for i := range reqs {
+						c.Wait(&reqs[i])
+					}
+				})
+				if env.Rank() == 0 {
+					s, n := 0.0, 0
+					for i := range sum {
+						s += sum[i]
+						n += cnt[i]
+					}
+					post = s / float64(n)
+				}
+			})
+			di, dp, dl := res.Metrics.DutyCycle()
+			cell := MTAgentCell{
+				Threads:            threads,
+				Agents:             agents,
+				PostNs:             post,
+				MeanBatch:          res.Metrics.MeanBatch(),
+				DutyIssue:          di,
+				DutyProgress:       dp,
+				DutyIdle:           dl,
+				PollsPerCompletion: res.Metrics.PollsPerCompletion(),
+			}
+			if res.Elapsed > 0 {
+				cell.PostsPerMs = float64(res.Metrics.Completed) / (float64(res.Elapsed) / 1e6)
+			}
+			out = append(out, cell)
+		}
+	}
+	return out
+}

@@ -6,8 +6,11 @@
 // Isend post cost as the submitting thread count grows 1–16, in virtual
 // time (simulator, offload approach — must stay flat at EnqueueCost) and
 // in wall-clock (rt layer — private-shard submission via RegisterThread
-// versus the shared MPMC overflow path). The result is written as
-// BENCH_mtscale.json; -validate FILE checks such a document's schema.
+// versus the shared MPMC overflow path), plus the threads × agents grid
+// (multi-agent offload engine: duty cycle, polling efficiency and
+// completion throughput per cell). The result is written as
+// BENCH_mtscale.json; -validate FILE checks such a document's schema and,
+// on full-size documents, the saturated-cell perf gates.
 package main
 
 import (
@@ -30,6 +33,8 @@ func main() {
 	out := flag.String("out", "BENCH_mtscale.json", "output path for -mtscale")
 	scaleIters := flag.Int("scale-iters", 40, "posts per thread in the sim sweep")
 	rtIters := flag.Int("rt-iters", 20000, "posts per goroutine in the rt wall-clock sweep")
+	maxThreads := flag.Int("max-threads", 16, "cap the sweep's thread axis (smoke runs cap lower, keeping the 16-thread perf-gate rows out of statistically tiny documents)")
+	agents := flag.Int("agents", 1, "offload agents per rank (Fig 6 mode)")
 	validate := flag.String("validate", "", "validate an existing BENCH_mtscale.json and exit")
 	flag.Parse()
 
@@ -47,7 +52,7 @@ func main() {
 	}
 
 	if *mtscale {
-		runMTScale(prof, *out, *scaleIters, *rtIters)
+		runMTScale(prof, *out, *scaleIters, *rtIters, *maxThreads)
 		return
 	}
 
@@ -61,6 +66,7 @@ func main() {
 		cols := make([][]bench.MTLatencyResult, len(apps))
 		for i, a := range apps {
 			p := *prof
+			p.Agents = *agents
 			cols[i] = bench.OSUMultithreadedLatency(sim.Config{Approach: a, Profile: &p}, threads, sizes, *iters)
 		}
 		for r, sz := range sizes {
@@ -75,14 +81,26 @@ func main() {
 	}
 }
 
-// mtScaleThreads is the sweep's thread-count axis.
-var mtScaleThreads = []int{1, 2, 4, 8, 16}
+// mtScaleThreads is the sweep's thread-count axis; mtScaleAgents the agent
+// counts crossed with it in the threads × agents grid.
+var (
+	mtScaleThreads = []int{1, 2, 4, 8, 16}
+	mtScaleAgents  = []int{1, 2, 4}
+)
 
-func runMTScale(prof *model.Profile, out string, scaleIters, rtIters int) {
+func runMTScale(prof *model.Profile, out string, scaleIters, rtIters, maxThreads int) {
+	threads := make([]int, 0, len(mtScaleThreads))
+	for _, t := range mtScaleThreads {
+		if t <= maxThreads {
+			threads = append(threads, t)
+		}
+	}
 	p := *prof
-	simRows := bench.MTPostScaling(sim.Config{Approach: sim.Offload, Profile: &p}, mtScaleThreads, scaleIters)
-	rtRows := rtPostScaling(mtScaleThreads, rtIters)
-	rep := &MTScaleReport{Schema: mtScaleSchema, Profile: prof.Name, Sim: simRows, RT: rtRows}
+	simRows := bench.MTPostScaling(sim.Config{Approach: sim.Offload, Profile: &p}, threads, scaleIters)
+	rtRows := rtPostScaling(threads, rtIters)
+	agentCells := bench.MTAgentScaling(sim.Config{Approach: sim.Offload, Profile: &p},
+		threads, mtScaleAgents, scaleIters)
+	rep := &MTScaleReport{Schema: mtScaleSchema, Profile: prof.Name, Sim: simRows, RT: rtRows, Agents: agentCells}
 	if err := validateMTScale(rep); err != nil {
 		log.Fatalf("generated report failed validation: %v", err)
 	}
@@ -105,5 +123,18 @@ func runMTScale(prof *model.Profile, out string, scaleIters, rtIters int) {
 			fmt.Sprintf("%.0f", rtRows[i].SharedNsPerPost))
 	}
 	t.Print(os.Stdout)
+	ta := bench.NewTable(
+		fmt.Sprintf("Agent scaling, %s (virtual time, saturated posts)", prof.Name),
+		"threads", "agents", "post ns", "batch", "duty", "polls/cmpl", "posts/ms")
+	for _, c := range agentCells {
+		ta.Add(fmt.Sprintf("%d", c.Threads),
+			fmt.Sprintf("%d", c.Agents),
+			fmt.Sprintf("%.0f", c.PostNs),
+			fmt.Sprintf("%.2f", c.MeanBatch),
+			fmt.Sprintf("%.2f", c.DutyIssue+c.DutyProgress),
+			fmt.Sprintf("%.2f", c.PollsPerCompletion),
+			fmt.Sprintf("%.0f", c.PostsPerMs))
+	}
+	ta.Print(os.Stdout)
 	fmt.Printf("wrote %s\n", out)
 }

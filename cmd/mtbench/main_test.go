@@ -18,7 +18,8 @@ func TestMTScaleReportSchema(t *testing.T) {
 	p := model.Endeavor()
 	simRows := bench.MTPostScaling(sim.Config{Approach: sim.Offload, Profile: p}, []int{1, 2}, 3)
 	rtRows := rtPostScaling([]int{1, 2}, 64)
-	rep := &MTScaleReport{Schema: mtScaleSchema, Profile: p.Name, Sim: simRows, RT: rtRows}
+	agentCells := bench.MTAgentScaling(sim.Config{Approach: sim.Offload, Profile: p}, []int{1, 2}, []int{1, 2}, 3)
+	rep := &MTScaleReport{Schema: mtScaleSchema, Profile: p.Name, Sim: simRows, RT: rtRows, Agents: agentCells}
 	if err := validateMTScale(rep); err != nil {
 		t.Fatalf("generated report invalid: %v", err)
 	}
@@ -47,25 +48,54 @@ func TestMTScaleReportSchema(t *testing.T) {
 
 // TestMTScaleValidatorRejects: the validator must catch structural damage.
 func TestMTScaleValidatorRejects(t *testing.T) {
+	cell := func(threads, agents int, postsPerMs float64) bench.MTAgentCell {
+		return bench.MTAgentCell{
+			Threads: threads, Agents: agents, PostNs: 140, MeanBatch: 1,
+			DutyIssue: 0.3, DutyProgress: 0.3, DutyIdle: 0.4,
+			PollsPerCompletion: 2, PostsPerMs: postsPerMs,
+		}
+	}
 	good := func() *MTScaleReport {
 		return &MTScaleReport{
 			Schema:  mtScaleSchema,
 			Profile: "endeavor-xeon",
 			Sim:     []bench.MTScaleResult{{Threads: 1, PostNs: 140, MeanBatch: 1}},
-			RT:      []RTScaleRow{{Threads: 1, ShardedNsPerPost: 100, SharedNsPerPost: 110}},
+			RT: []RTScaleRow{
+				{Threads: 1, ShardedNsPerPost: 100, SharedNsPerPost: 110},
+				{Threads: 16, ShardedNsPerPost: 120, SharedNsPerPost: 400},
+			},
+			Agents: []bench.MTAgentCell{
+				cell(1, 1, 50),
+				cell(16, 1, 100), cell(16, 2, 150),
+			},
 		}
 	}
 	cases := map[string]func(*MTScaleReport){
-		"wrong schema":    func(r *MTScaleReport) { r.Schema = "mtscale/v0" },
+		"wrong schema":    func(r *MTScaleReport) { r.Schema = "mtscale/v1" },
 		"missing profile": func(r *MTScaleReport) { r.Profile = "" },
 		"empty sim":       func(r *MTScaleReport) { r.Sim = nil },
 		"empty rt":        func(r *MTScaleReport) { r.RT = nil },
+		"empty agents":    func(r *MTScaleReport) { r.Agents = nil },
 		"zero post":       func(r *MTScaleReport) { r.Sim[0].PostNs = 0 },
 		"zero batch":      func(r *MTScaleReport) { r.Sim[0].MeanBatch = 0 },
 		"negative rt":     func(r *MTScaleReport) { r.RT[0].ShardedNsPerPost = -1 },
 		"descending threads": func(r *MTScaleReport) {
 			r.Sim = append(r.Sim, bench.MTScaleResult{Threads: 1, PostNs: 140, MeanBatch: 1})
 			r.Sim[0].Threads = 2
+		},
+		"agent cells out of order": func(r *MTScaleReport) {
+			r.Agents[1], r.Agents[2] = r.Agents[2], r.Agents[1]
+		},
+		"duty fraction out of range": func(r *MTScaleReport) { r.Agents[0].DutyIdle = 1.5 },
+		"zero throughput":            func(r *MTScaleReport) { r.Agents[0].PostsPerMs = 0 },
+		"perf gate: sharded slower than shared at 16": func(r *MTScaleReport) {
+			r.RT[1].ShardedNsPerPost = r.RT[1].SharedNsPerPost + 1
+		},
+		"perf gate: agent speedup below 1.2x": func(r *MTScaleReport) {
+			r.Agents[2].PostsPerMs = r.Agents[1].PostsPerMs * 1.1
+		},
+		"perf gate: missing 1-agent cell at 16": func(r *MTScaleReport) {
+			r.Agents = []bench.MTAgentCell{cell(16, 2, 150)}
 		},
 	}
 	if err := validateMTScale(good()); err != nil {

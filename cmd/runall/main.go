@@ -50,6 +50,7 @@ func main() {
 		{"Fig 13b (FFT weak scaling, Phi)", []string{"run", "./cmd/fftbench", "-exp=fig13b", "-iters=" + fftIters}},
 		{"Fig 14 (CNN training)", []string{"run", "./cmd/cnnbench", "-iters=" + iters}},
 		{"Enqueue scaling (BENCH_mtscale.json)", []string{"run", "./cmd/mtbench", "-mtscale", "-scale-iters=" + mtIters}},
+		{"Enqueue scaling gates (mtscale-smoke)", []string{"run", "./cmd/mtbench", "-validate", "BENCH_mtscale.json"}},
 		{"Topology sweep (BENCH_topo.json)", []string{"run", "./cmd/topobench", "-iters=" + iters}},
 		{"Chaos sweep (BENCH_chaos.json)", []string{"run", "./cmd/chaosbench"}},
 	}

@@ -1,33 +1,47 @@
 // Package core implements the paper's central contribution (§3): the MPI
 // software-offload infrastructure.
 //
-// A dedicated offload thread per rank is the only thread that ever enters
-// the (simulated) MPI library. Application threads — any number of them,
-// concurrently — serialize their MPI calls into commands and insert them
-// into a sharded lock-free command queue (internal/queue.Sharded): each
-// registered thread owns a private SPSC shard, unregistered threads share
-// an MPMC overflow shard, and the offload thread drains all shards
-// round-robin in batches. The request handle returned to the application
-// is an index into a lock-free request pool (internal/reqpool) whose done
-// flags signal completion.
+// One or more dedicated offload agents per rank are the only threads that
+// ever enter the (simulated) MPI library. Application threads — any number
+// of them, concurrently — serialize their MPI calls into commands and
+// insert them into a sharded lock-free command queue (internal/queue.
+// Sharded): each registered thread owns a private SPSC shard, unregistered
+// threads share an MPMC overflow shard, and the owning agent drains its
+// shards in batches, walking only the occupied ones. The request handle
+// returned to the application encodes an index into the owning agent's
+// lock-free request pool (internal/reqpool) whose done flags signal
+// completion.
 //
-// The offload thread:
+// Each agent:
 //
-//  1. drains the command queue, issuing the real MPI calls funneled
+//  1. drains its command queue, issuing the real MPI calls funneled
 //     (no global lock is ever taken — §3.3: mutual exclusion is elided);
 //  2. whenever the queue is empty, drives MPI_Testany-style progress over
-//     all in-flight requests (§3.2), guaranteeing asynchronous progress;
+//     its in-flight requests (§3.2), guaranteeing asynchronous progress;
 //  3. sets the request's done flag on completion, which is all an
 //     application MPI_Wait/Test has to check.
 //
+// The paper fixes the agent count at one; this engine generalizes it. Each
+// agent owns a disjoint group of submission shards, its own request-pool
+// partition and its own in-flight set — agents share no hot-path state, so
+// going from one agent to N adds no locks anywhere. Submitting threads are
+// assigned to agents round-robin and stay put (per-thread FIFO lives in
+// one agent's shard); an optional model.AgentPolicy scales the active
+// agent count between bounds on a fixed virtual-time cadence, re-homing a
+// thread only once it has no un-issued commands (so MPI's non-overtaking
+// rule is never at risk), and can let saturated submitters steal a
+// progress round themselves. The default — one agent, no policy — behaves
+// bit-identically to the original single-thread design.
+//
 // Blocking application calls are converted to their nonblocking
 // equivalents plus a done-flag wait (§3.3), so one thread's blocking call
-// never stalls the offload thread or other threads' communication.
+// never stalls an offload agent or other threads' communication.
 //
-// The command queue and request pool are real lock-free Go data structures
-// (atomics); under the deterministic simulation they are exercised through
-// the same code paths they would run under true concurrency, and their
-// concurrent correctness is stress-tested separately.
+// The command queues and request pools are real lock-free Go data
+// structures (atomics); under the deterministic simulation they are
+// exercised through the same code paths they would run under true
+// concurrency, and their concurrent correctness is stress-tested
+// separately.
 package core
 
 import (
@@ -42,8 +56,11 @@ import (
 	"mpioffload/internal/vclock"
 )
 
-// Handle identifies an offloaded operation: an index into the request pool.
-// It is the offload infrastructure's stand-in for MPI_Request (§3.1).
+// Handle identifies an offloaded operation. It is the offload
+// infrastructure's stand-in for MPI_Request (§3.1) and encodes both the
+// owning agent and the slot in that agent's request pool:
+// agent*poolSize + slot. With one agent the handle is the pool index
+// itself, exactly as in the single-agent design.
 type Handle int
 
 // Cmd is one serialized MPI call traveling through the command queue.
@@ -52,8 +69,9 @@ type Cmd struct {
 	// Issue performs the real MPI call on the offload thread and returns
 	// the request to track, or nil if the operation completed inline.
 	Issue func(t *vclock.Task) proto.Req
-	id    int64 // submission sequence number (trace span id)
-	enqTS int64 // virtual ns at enqueue (stamped before insertion: the
+	id    int64         // submission sequence number (trace span id)
+	un    *atomic.Int64 // owning thread's un-issued count (nil in bare tests)
+	enqTS int64         // virtual ns at enqueue (stamped before insertion: the
 	// consumer may dequeue the command the moment it lands, so the stamp
 	// must already be there for the queue-wait histogram)
 }
@@ -65,17 +83,54 @@ type inflightEntry struct {
 	req   proto.Req
 }
 
-// Offloader owns one rank's offload thread, command queue and request pool.
+// agentState is one offload agent: a disjoint shard group (its own sharded
+// command queue), its own request-pool partition and in-flight set. Only
+// the owning agent task touches inflight/slotEv; only threads assigned to
+// the agent touch its queue and pool — there is no cross-agent shared
+// line.
+type agentState struct {
+	idx      int
+	cq       *queue.Sharded[*Cmd]
+	pool     *reqpool.Pool
+	inflight []inflightEntry
+	slotEv   map[int]*vclock.Event // parked waiters by slot
+	// winBusy accumulates the agent's issue+progress virtual ns in the
+	// current policy window; agent 0 swaps it to zero at each evaluation.
+	winBusy atomic.Int64
+}
+
+// threadState is the per-submitting-thread assignment record.
+type threadState struct {
+	agent  int         // owning agent index
+	gen    int         // assignment generation last reconciled
+	shards map[int]int // agent index → registered shard id there
+	// unissued counts commands submitted but not yet issued to MPI by the
+	// owning agent. A thread may be re-homed to another agent only at
+	// zero: all its prior calls have entered the library in order, so the
+	// non-overtaking rule cannot be violated by the move.
+	unissued atomic.Int64
+}
+
+// Offloader owns one rank's offload agents, command queues and request
+// pools.
 type Offloader struct {
 	Eng *proto.Engine
 	P   *model.Profile
 
-	cq       *queue.Sharded[*Cmd]
-	pool     *reqpool.Pool
+	agents   []*agentState
+	poolSize int
 	batchMax int
-	inflight []inflightEntry
-	slotEv   map[int]*vclock.Event // parked waiters by slot
-	shardOf  map[string]int        // submitting thread name → command shard
+
+	// Agent policy state (all owned by cooperative contexts; nil pol means
+	// the agent count is fixed).
+	pol       *model.AgentPolicy
+	active    int  // agents currently accepting new thread assignments
+	saturated bool // last window: every active agent above ScaleUpDuty at max
+	assignGen int  // bumped by every scale event; threads reconcile lazily
+	assignRR  int  // round-robin cursor for thread→agent assignment
+	lastEval  vclock.Time
+	nextEval  vclock.Time
+	threads   map[string]*threadState // submitting thread name → assignment
 
 	// Stats are atomic: they are incremented from application-thread
 	// (Submit) and offload-thread (run) contexts, which the cooperative
@@ -87,17 +142,24 @@ type Offloader struct {
 	Failed     atomic.Int64 // completions carrying a watchdog error
 	IdleWaits  atomic.Int64
 	QueueFullN atomic.Int64
+	// Adaptive-agent counters (zero in fixed single-agent runs).
+	ScaleUps   atomic.Int64
+	ScaleDowns atomic.Int64
+	Steals     atomic.Int64 // app-thread steal-progress rounds
 
-	// Depth distributions, fed by the queue's consumer-side depth sampler
-	// and the pool's occupancy sampler. Atomic: the pool sampler runs on
+	// Depth distributions, fed by every queue's consumer-side depth sampler
+	// and every pool's occupancy sampler. Atomic: the pool sampler runs on
 	// concurrent submitting threads under the real-goroutine race probes.
 	QDepthH  obs.AtomicHist
 	PoolOccH obs.AtomicHist
 }
 
-// New creates the offloader for eng's rank and spawns its offload thread as
-// a daemon task (it lives for the lifetime of the simulation, §3.4: the
-// thread is spawned at MPI_Init).
+// New creates the offloader for eng's rank and spawns its offload agents
+// as daemon tasks (they live for the lifetime of the simulation, §3.4: the
+// threads are spawned at MPI_Init). Profile.Agents selects the agent
+// count (default 1 — the paper's configuration); Profile.Policy enables
+// adaptive scaling, in which case agents up to the policy's MaxAgents are
+// created and dormant ones park until a scale-up assigns them work.
 func New(k *vclock.Kernel, eng *proto.Engine) *Offloader {
 	p := eng.P
 	shards := p.ShardCount
@@ -108,64 +170,128 @@ func New(k *vclock.Kernel, eng *proto.Engine) *Offloader {
 	if batch <= 0 {
 		batch = 16
 	}
+	agents := p.Agents
+	if agents <= 0 {
+		agents = 1
+	}
 	o := &Offloader{
 		Eng:      eng,
 		P:        p,
-		cq:       queue.NewSharded[*Cmd](shards, p.CommandQueueCap, p.CommandQueueCap),
-		pool:     reqpool.New(p.RequestPoolSize),
+		poolSize: p.RequestPoolSize,
 		batchMax: batch,
-		slotEv:   make(map[int]*vclock.Event),
-		shardOf:  make(map[string]int),
+		active:   agents,
+		threads:  make(map[string]*threadState),
 	}
-	o.cq.SetDepthSampler(o.QDepthH.Observe)
-	o.pool.SetOccupancySampler(o.PoolOccH.Observe)
-	k.GoDaemon(fmt.Sprintf("offload.%d", eng.Rank), o.run)
+	maxAgents := agents
+	if p.Policy != nil {
+		pol := p.Policy.Norm(agents, batch)
+		o.pol = &pol
+		if pol.MaxAgents > maxAgents {
+			maxAgents = pol.MaxAgents
+		}
+		if o.active < pol.MinAgents {
+			o.active = pol.MinAgents
+		}
+		if o.active > pol.MaxAgents {
+			o.active = pol.MaxAgents
+		}
+		o.nextEval = vclock.Time(pol.EvalWindow)
+	}
+	for i := 0; i < maxAgents; i++ {
+		ag := &agentState{
+			idx:    i,
+			cq:     queue.NewSharded[*Cmd](shards, p.CommandQueueCap, p.CommandQueueCap),
+			pool:   reqpool.New(p.RequestPoolSize),
+			slotEv: make(map[int]*vclock.Event),
+		}
+		ag.cq.SetDepthSampler(o.QDepthH.Observe)
+		ag.pool.SetOccupancySampler(o.PoolOccH.Observe)
+		o.agents = append(o.agents, ag)
+	}
+	for i, ag := range o.agents {
+		ag := ag
+		name := fmt.Sprintf("offload.%d", eng.Rank)
+		if i > 0 {
+			name = fmt.Sprintf("offload.%d.%d", eng.Rank, i)
+		}
+		k.GoDaemon(name, func(t *vclock.Task) { o.run(t, ag) })
+	}
 	return o
 }
 
-// shardFor returns the command-queue shard of the submitting thread,
-// registering it on first submission. Shards are keyed by task name:
-// fork-join thread teams reuse names across waves (rankN.thrM), so a
-// bounded thread population keeps its private shards across Parallel
-// regions instead of leaking one shard per wave. Threads beyond ShardCount
-// share the overflow shard. Only cooperative (kernel-scheduled) contexts
-// call this, so the map needs no lock.
-func (o *Offloader) shardFor(t *vclock.Task) int {
-	if s, ok := o.shardOf[t.Name]; ok {
-		return s
-	}
-	s := o.cq.Register()
-	o.shardOf[t.Name] = s
-	return s
+func (o *Offloader) decode(h Handle) (*agentState, int) {
+	a := int(h) / o.poolSize
+	return o.agents[a], int(h) % o.poolSize
 }
 
-// run is the offload thread's main loop.
-func (o *Offloader) run(t *vclock.Task) {
+// threadStateFor returns the submitting thread's assignment record,
+// creating it (round-robin over the active agents) on first submission.
+// Records are keyed by task name: fork-join thread teams reuse names
+// across waves (rankN.thrM), so a bounded thread population keeps its
+// private shards across Parallel regions instead of leaking one shard per
+// wave. After a scale event (generation bump) the thread re-homes lazily —
+// only once it has no un-issued commands. Only cooperative
+// (kernel-scheduled) contexts call this, so the map needs no lock.
+func (o *Offloader) threadStateFor(t *vclock.Task) *threadState {
+	ts := o.threads[t.Name]
+	if ts == nil {
+		ts = &threadState{agent: o.pickAgent(), gen: o.assignGen, shards: make(map[int]int)}
+		o.threads[t.Name] = ts
+	} else if ts.gen != o.assignGen {
+		if ts.unissued.Load() == 0 {
+			ts.agent = o.pickAgent()
+			ts.gen = o.assignGen
+		}
+		// else: commands still queued at the old agent — keep submitting
+		// there (per-thread FIFO) and retry the move next time.
+	}
+	if _, ok := ts.shards[ts.agent]; !ok {
+		ts.shards[ts.agent] = o.agents[ts.agent].cq.Register()
+	}
+	return ts
+}
+
+func (o *Offloader) pickAgent() int {
+	a := o.assignRR % o.active
+	o.assignRR++
+	return a
+}
+
+// run is one offload agent's main loop.
+func (o *Offloader) run(t *vclock.Task, ag *agentState) {
 	batch := make([]*Cmd, o.batchMax)
 	for {
+		if o.pol != nil && ag.idx == 0 && t.Now() >= o.nextEval {
+			o.evalPolicy(t)
+		}
 		seq := o.Eng.Seq()
 		rec := o.Eng.Obs
 
 		// 1. Service the command queue first (application calls waiting):
-		//    drain up to batchMax commands in one wakeup — round-robin
-		//    across the submission shards — before the next Testany round.
-		if n := o.cq.DequeueBatch(batch); n > 0 {
+		//    drain up to batchMax commands in one wakeup — walking only the
+		//    occupied submission shards — before the next Testany round.
+		if n := ag.cq.DequeueBatch(batch); n > 0 {
 			t0 := t.Now()
 			for i, cmd := range batch[:n] {
 				batch[i] = nil // release the reference once issued
 				deq := t.Now()
-				rec.CmdDequeued(deq, cmd.id, o.cq.Len()+n-1-i, deq-cmd.enqTS)
+				rec.CmdDequeued(deq, cmd.id, ag.cq.Len()+n-1-i, deq-cmd.enqTS)
 				t.SleepF(o.P.DequeueCost)
 				req := cmd.Issue(t)
 				o.Issued.Add(1)
+				if cmd.un != nil {
+					cmd.un.Add(-1)
+				}
 				if req == nil || req.Done() {
 					o.noteFailed(req)
-					o.complete(cmd.Slot, cmd.id, flowOf(req), t.Now()-deq)
+					o.complete(ag, cmd.Slot, cmd.id, flowOf(req), t.Now()-deq)
 				} else {
-					o.inflight = append(o.inflight, inflightEntry{cmd.Slot, cmd.id, deq, req})
+					ag.inflight = append(ag.inflight, inflightEntry{cmd.Slot, cmd.id, deq, req})
 				}
 			}
-			rec.DutyIssueBatch(t.Now()-t0, n)
+			busy := t.Now() - t0
+			rec.DutyIssueBatch(busy, n)
+			ag.winBusy.Add(busy)
 			continue
 		}
 
@@ -173,24 +299,26 @@ func (o *Offloader) run(t *vclock.Task) {
 		//    (MPI_Testany, §3.2) — and over anything the NIC delivered
 		//    even with no local request pending (unexpected messages,
 		//    one-sided accumulates needing target-side software).
-		if len(o.inflight) > 0 || o.Eng.PendingInbox() > 0 {
+		if len(ag.inflight) > 0 || o.Eng.PendingInbox() > 0 {
 			t0 := t.Now()
 			o.Eng.Progress(t)
 			t.SleepF(o.P.DoneFlagCost)
-			kept := o.inflight[:0]
+			kept := ag.inflight[:0]
 			completed := false
-			for _, e := range o.inflight {
+			for _, e := range ag.inflight {
 				if e.req.Done() {
 					o.noteFailed(e.req)
-					o.complete(e.slot, e.id, flowOf(e.req), t.Now()-e.deqTS)
+					o.complete(ag, e.slot, e.id, flowOf(e.req), t.Now()-e.deqTS)
 					completed = true
 				} else {
 					kept = append(kept, e)
 				}
 			}
-			o.inflight = kept
-			rec.DutyProgress(t.Now() - t0)
-			if completed || !o.cq.Empty() {
+			ag.inflight = kept
+			busy := t.Now() - t0
+			rec.DutyProgress(busy)
+			ag.winBusy.Add(busy)
+			if completed || !ag.cq.Empty() {
 				continue
 			}
 		}
@@ -199,7 +327,7 @@ func (o *Offloader) run(t *vclock.Task) {
 		//    the NIC delivers something. A real offload thread busy-spins
 		//    here — the dedicated core is modelled by the thread-count
 		//    accounting in the sim layer, not by burning virtual events.
-		if o.Eng.Seq() == seq && o.cq.Empty() {
+		if o.Eng.Seq() == seq && ag.cq.Empty() {
 			o.IdleWaits.Add(1)
 			t0 := t.Now()
 			o.Eng.AwaitChange(t, seq)
@@ -209,6 +337,51 @@ func (o *Offloader) run(t *vclock.Task) {
 			t.SleepF(o.P.PollGap)
 		}
 	}
+}
+
+// evalPolicy is the adaptive-agent controller, run by agent 0 on a fixed
+// virtual-time cadence so scaling decisions are a pure function of the
+// simulated timeline (deterministic for a given configuration). It reads
+// each agent's duty share over the closing window and the total
+// command-queue backlog — the metrics the engine already collects.
+func (o *Offloader) evalPolicy(t *vclock.Task) {
+	now := t.Now()
+	span := now - o.lastEval
+	o.lastEval = now
+	for now >= o.nextEval {
+		o.nextEval += vclock.Time(o.pol.EvalWindow)
+	}
+	if span <= 0 {
+		return
+	}
+	minDuty, maxDuty := 1.0, 0.0
+	backlog := 0
+	for i, ag := range o.agents {
+		duty := float64(ag.winBusy.Swap(0)) / float64(span)
+		backlog += ag.cq.Len()
+		if i < o.active {
+			if duty < minDuty {
+				minDuty = duty
+			}
+			if duty > maxDuty {
+				maxDuty = duty
+			}
+		}
+	}
+	switch {
+	case maxDuty >= o.pol.ScaleUpDuty && backlog > o.pol.ScaleUpDepth && o.active < o.pol.MaxAgents:
+		o.active++
+		o.assignGen++
+		o.ScaleUps.Add(1)
+		o.Eng.Obs.AgentScaled(int64(now), o.active, +1)
+		o.Eng.Bump() // wake the dormant agent (and submitters, to re-home)
+	case maxDuty < o.pol.ScaleDownIdle && o.active > o.pol.MinAgents:
+		o.active--
+		o.assignGen++
+		o.ScaleDowns.Add(1)
+		o.Eng.Obs.AgentScaled(int64(now), o.active, -1)
+	}
+	o.saturated = o.active >= o.pol.MaxAgents && minDuty >= o.pol.ScaleUpDuty
 }
 
 // noteFailed counts completions the watchdog forced with an error — the
@@ -229,57 +402,72 @@ func flowOf(req proto.Req) int64 {
 	return 0
 }
 
-func (o *Offloader) complete(slot int, id, flow, serviceNs int64) {
-	o.pool.SetDone(slot)
+func (o *Offloader) complete(ag *agentState, slot int, id, flow, serviceNs int64) {
+	ag.pool.SetDone(slot)
 	o.Completed.Add(1)
 	o.Eng.Obs.CmdCompleted(o.Eng.K.Now(), id, flow, serviceNs)
-	if ev := o.slotEv[slot]; ev != nil {
+	if ev := ag.slotEv[slot]; ev != nil {
 		ev.Broadcast(o.Eng.K)
-		delete(o.slotEv, slot)
+		delete(ag.slotEv, slot)
 	}
 	o.Eng.Bump() // wake application threads spinning on done flags
 }
 
 // Submit serializes an MPI call into a command, inserts it into the
-// command queue, and returns the request handle. This charges only
-// EnqueueCost to the calling application thread — the entire point of the
-// offload approach (Fig 4's flat ~140 ns post time).
+// command queue of the thread's agent, and returns the request handle.
+// This charges only EnqueueCost to the calling application thread — the
+// entire point of the offload approach (Fig 4's flat ~140 ns post time).
 func (o *Offloader) Submit(t *vclock.Task, issue func(t *vclock.Task) proto.Req) Handle {
-	slot := o.pool.Get()
+	ts := o.threadStateFor(t)
+	ag := o.agents[ts.agent]
+	slot := ag.pool.Get()
 	for slot == reqpool.None {
 		// Pool exhausted: wait for completions to recycle slots.
 		seq := o.Eng.Seq()
 		o.Eng.AwaitChange(t, seq)
-		slot = o.pool.Get()
+		slot = ag.pool.Get()
 	}
-	cmd := &Cmd{Slot: slot, Issue: issue, id: o.Submitted.Add(1)}
-	shard := o.shardFor(t)
+	cmd := &Cmd{Slot: slot, Issue: issue, id: o.Submitted.Add(1), un: &ts.unissued}
+	ts.unissued.Add(1)
+	shard := ts.shards[ts.agent]
 	// Stamp the enqueue time before insertion and record the event before
 	// yielding: the offload thread may dequeue the command the moment it
 	// lands, and the trace must stay chronological (enqueue before dequeue)
 	// with a non-negative queue wait.
 	cmd.enqTS = t.Now()
-	for !o.cq.TryEnqueue(shard, cmd) {
+	for !ag.cq.TryEnqueue(shard, cmd) {
 		o.QueueFullN.Add(1)
 		seq := o.Eng.Seq()
 		o.Eng.AwaitChange(t, seq)
 		cmd.enqTS = t.Now()
 	}
-	o.Eng.Obs.CmdEnqueued(cmd.enqTS, obs.TaskClass(t.Name), cmd.id, o.cq.Len())
+	o.Eng.Obs.CmdEnqueued(cmd.enqTS, obs.TaskClass(t.Name), cmd.id, ag.cq.Len())
 	t.SleepF(o.P.EnqueueCost)
+	if o.pol != nil && o.pol.StealProgress && o.saturated && ag.cq.Len() > o.pol.ScaleUpDepth {
+		// Every agent is saturated and this one has a backlog: the policy
+		// lets the submitting thread drive one progress round itself
+		// instead of waiting for an agent wakeup.
+		o.Steals.Add(1)
+		o.Eng.Obs.StoleProgress()
+		o.Eng.Progress(t)
+	}
 	o.Eng.Bump() // doorbell
-	return Handle(slot)
+	return Handle(ts.agent*o.poolSize + slot)
 }
 
 // Done reports (without consuming) whether the operation has completed.
-func (o *Offloader) Done(h Handle) bool { return o.pool.Done(int(h)) }
+func (o *Offloader) Done(h Handle) bool {
+	ag, slot := o.decode(h)
+	return ag.pool.Done(slot)
+}
 
 // Test checks for completion, charging the done-flag read. On success the
 // handle is released and must not be reused.
 func (o *Offloader) Test(t *vclock.Task, h Handle) bool {
 	t.SleepF(o.P.DoneFlagCost)
-	if o.pool.Done(int(h)) {
-		o.pool.Put(int(h))
+	ag, slot := o.decode(h)
+	if ag.pool.Done(slot) {
+		ag.pool.Put(slot)
 		return true
 	}
 	return false
@@ -288,30 +476,30 @@ func (o *Offloader) Test(t *vclock.Task, h Handle) bool {
 // Wait blocks (spinning on the done flag) until the operation completes,
 // then releases the handle. Short waits spin per engine activity (so the
 // microsecond-scale timing of a ping-pong is exact); long waits park on a
-// per-slot event the offload thread broadcasts at completion.
+// per-slot event the owning agent broadcasts at completion.
 func (o *Offloader) Wait(t *vclock.Task, h Handle) {
 	const pollRounds = 32
-	slot := int(h)
-	for round := 0; !o.pool.Done(slot); round++ {
+	ag, slot := o.decode(h)
+	for round := 0; !ag.pool.Done(slot); round++ {
 		if round >= pollRounds {
-			ev := o.slotEv[slot]
+			ev := ag.slotEv[slot]
 			if ev == nil {
 				ev = vclock.NewEvent("offload.wait")
-				o.slotEv[slot] = ev
+				ag.slotEv[slot] = ev
 			}
-			for !o.pool.Done(slot) {
+			for !ag.pool.Done(slot) {
 				t.Wait(ev)
 			}
 			break
 		}
 		seq := o.Eng.Seq()
-		if o.pool.Done(slot) {
+		if ag.pool.Done(slot) {
 			break
 		}
 		o.Eng.AwaitChange(t, seq)
 	}
 	t.SleepF(o.P.DoneFlagCost)
-	o.pool.Put(slot)
+	ag.pool.Put(slot)
 }
 
 // WaitAll waits for a set of handles and releases them.
@@ -321,24 +509,76 @@ func (o *Offloader) WaitAll(t *vclock.Task, hs ...Handle) {
 	}
 }
 
-// InFlight reports the number of requests the offload thread is tracking.
-func (o *Offloader) InFlight() int { return len(o.inflight) }
+// Agents reports the number of offload agents created (the policy's
+// MaxAgents when adaptive, else Profile.Agents).
+func (o *Offloader) Agents() int { return len(o.agents) }
 
-// QueueLen reports the command-queue depth (summed across shards).
-func (o *Offloader) QueueLen() int { return o.cq.Len() }
+// ActiveAgents reports how many agents currently accept new thread
+// assignments (the adaptive policy moves this between its bounds; fixed
+// configurations keep it at the configured count).
+func (o *Offloader) ActiveAgents() int { return o.active }
 
-// QueueHighWater reports the command queue's depth high-water mark.
-func (o *Offloader) QueueHighWater() int { return o.cq.HighWater() }
+// InFlight reports the number of requests the agents are tracking.
+func (o *Offloader) InFlight() int {
+	n := 0
+	for _, ag := range o.agents {
+		n += len(ag.inflight)
+	}
+	return n
+}
 
-// Shards reports the number of private command-queue shards.
-func (o *Offloader) Shards() int { return o.cq.Shards() }
+// QueueLen reports the command-queue depth (summed across all agents'
+// shards).
+func (o *Offloader) QueueLen() int {
+	n := 0
+	for _, ag := range o.agents {
+		n += ag.cq.Len()
+	}
+	return n
+}
 
-// RegisteredThreads reports how many submitting threads hold a private
-// command-queue shard.
-func (o *Offloader) RegisteredThreads() int { return o.cq.Registered() }
+// QueueHighWater reports the deepest any agent's command queue has been.
+func (o *Offloader) QueueHighWater() int {
+	hw := 0
+	for _, ag := range o.agents {
+		if h := ag.cq.HighWater(); h > hw {
+			hw = h
+		}
+	}
+	return hw
+}
 
-// PoolInUse reports the number of request-pool slots currently allocated.
-func (o *Offloader) PoolInUse() int { return o.pool.InUse() }
+// Shards reports the number of private command-queue shards per agent.
+func (o *Offloader) Shards() int { return o.agents[0].cq.Shards() }
 
-// PoolHighWater reports the request pool's occupancy high-water mark.
-func (o *Offloader) PoolHighWater() int { return o.pool.HighWater() }
+// RegisteredThreads reports how many thread registrations hold a private
+// command-queue shard, summed across agents.
+func (o *Offloader) RegisteredThreads() int {
+	n := 0
+	for _, ag := range o.agents {
+		n += ag.cq.Registered()
+	}
+	return n
+}
+
+// PoolInUse reports the number of request-pool slots currently allocated
+// across all agents.
+func (o *Offloader) PoolInUse() int {
+	n := 0
+	for _, ag := range o.agents {
+		n += ag.pool.InUse()
+	}
+	return n
+}
+
+// PoolHighWater reports the deepest any agent's request-pool occupancy has
+// been.
+func (o *Offloader) PoolHighWater() int {
+	hw := 0
+	for _, ag := range o.agents {
+		if h := ag.pool.HighWater(); h > hw {
+			hw = h
+		}
+	}
+	return hw
+}

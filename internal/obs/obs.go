@@ -44,6 +44,7 @@ const (
 	EvDeliver                     // A=bytes, B=src (flow-stamped packet hit the NIC)
 	EvEagerLand                   // A=bytes, B=src (eager payload landed in a recv)
 	EvRdvStart                    // A=bytes, B=peer (sender processed CTS, RDMA starts)
+	EvAgentScale                  // A=active agents after the change, B=+1/-1 (policy scale event)
 )
 
 // String names the kind as it appears in exported traces.
@@ -77,6 +78,8 @@ func (k Kind) String() string {
 		return "eager.land"
 	case EvRdvStart:
 		return "rdv.start"
+	case EvAgentScale:
+		return "agent.scale"
 	}
 	return "unknown"
 }
@@ -84,7 +87,7 @@ func (k Kind) String() string {
 // KindFromString inverts String (tools reconstructing events from exported
 // traces). Unknown names map to Kind 0.
 func KindFromString(s string) Kind {
-	for k := EvCmdEnqueue; k <= EvRdvStart; k++ {
+	for k := EvCmdEnqueue; k <= EvAgentScale; k++ {
 		if k.String() == s {
 			return k
 		}
@@ -173,6 +176,10 @@ type RankMetrics struct {
 	// TestanyPolls counts offload-thread progress rounds taken with
 	// requests in flight; with CmdDone it yields polls-per-completion.
 	TestanyPolls int64
+	// Adaptive-agent accounting: policy scale events and application-thread
+	// steal-progress rounds (all zero in the fixed single-agent
+	// configuration, so existing outputs are unchanged).
+	AgentScaleUps, AgentScaleDowns, StolenProgress int64
 
 	// Per-thread-class attribution of MPI activity.
 	IssuesByTID   [NumTID]int64 // Isend/Irecv posts entering the engine
@@ -212,6 +219,9 @@ func (m *RankMetrics) Add(o RankMetrics) {
 	m.DrainBatches += o.DrainBatches
 	m.BatchedCmds += o.BatchedCmds
 	m.TestanyPolls += o.TestanyPolls
+	m.AgentScaleUps += o.AgentScaleUps
+	m.AgentScaleDowns += o.AgentScaleDowns
+	m.StolenProgress += o.StolenProgress
 	for i := range m.IssuesByTID {
 		m.IssuesByTID[i] += o.IssuesByTID[i]
 	}
@@ -493,6 +503,31 @@ func (r *Recorder) DutyIdle(ns int64) {
 		return
 	}
 	r.M.IdleNs += ns
+}
+
+// AgentScaled records the agent policy changing the active agent count:
+// delta is +1 (scale-up) or -1 (scale-down), active the count after the
+// change. Never emitted in a fixed single-agent run, so existing traces
+// are untouched.
+func (r *Recorder) AgentScaled(ts int64, active, delta int) {
+	if !r.Enabled() {
+		return
+	}
+	if delta > 0 {
+		r.M.AgentScaleUps++
+	} else {
+		r.M.AgentScaleDowns++
+	}
+	r.push(Event{TS: ts, Kind: EvAgentScale, TID: TAgent, A: int64(active), B: int64(delta)})
+}
+
+// StoleProgress counts an application thread driving one progress round
+// itself because every agent was saturated (policy steal-progress).
+func (r *Recorder) StoleProgress() {
+	if !r.Enabled() {
+		return
+	}
+	r.M.StolenProgress++
 }
 
 // Issued records an Isend/Irecv entering the protocol engine. kind must be

@@ -25,14 +25,15 @@ type slot[T any] struct {
 
 // MPMC is a bounded lock-free multi-producer multi-consumer FIFO queue.
 type MPMC[T any] struct {
-	mask  uint64
-	slots []slot[T]
-	_     pad
-	enq   atomic.Uint64
-	_     pad
-	deq   atomic.Uint64
-	_     pad
-	hwm   atomic.Uint64 // observed depth high-water mark
+	mask   uint64
+	hwmOff bool // set when embedded in Sharded: depth is accounted there
+	slots  []slot[T]
+	_      pad
+	enq    atomic.Uint64
+	_      pad
+	deq    atomic.Uint64
+	_      pad
+	hwm    atomic.Uint64 // observed depth high-water mark
 }
 
 // NewMPMC returns a queue with capacity rounded up to the next power of two
@@ -63,7 +64,9 @@ func (q *MPMC[T]) TryEnqueue(v T) bool {
 			if q.enq.CompareAndSwap(pos, pos+1) {
 				s.val = v
 				s.seq.Store(pos + 1)
-				q.noteDepth(pos + 1 - q.deq.Load())
+				if !q.hwmOff {
+					q.noteDepth(pos + 1 - q.deq.Load())
+				}
 				return true
 			}
 			pos = q.enq.Load()
@@ -128,15 +131,24 @@ func (q *MPMC[T]) Len() int {
 func (q *MPMC[T]) Empty() bool { return q.Len() == 0 }
 
 // SPSC is a bounded wait-free single-producer single-consumer FIFO ring.
+//
+// Each side keeps a plain-field cache of the other side's index (the
+// classic Vyukov refinement): the producer touches the consumer's head
+// line only when the ring looks full against its cache (or when raising
+// the high-water mark), and the consumer touches the producer's tail line
+// only when the ring looks empty — so a steady-state enqueue or dequeue
+// reads no cache line the other core is writing.
 type SPSC[T any] struct {
 	mask uint64
 	buf  []T
 	_    pad
-	head atomic.Uint64 // next read index (consumer-owned)
-	_    pad
-	tail atomic.Uint64 // next write index (producer-owned)
-	_    pad
-	hwm  atomic.Uint64 // observed depth high-water mark (producer-written)
+	head       atomic.Uint64 // next read index (consumer-owned)
+	cachedTail uint64        // consumer's last view of tail (consumer-owned)
+	_          pad
+	tail       atomic.Uint64 // next write index (producer-owned)
+	cachedHead uint64        // producer's last view of head (producer-owned)
+	_          pad
+	hwm atomic.Uint64 // observed depth high-water mark (producer-written)
 }
 
 // NewSPSC returns a ring with capacity rounded up to the next power of two
@@ -156,13 +168,21 @@ func (q *SPSC[T]) Cap() int { return len(q.buf) }
 // from the single producer only.
 func (q *SPSC[T]) TryEnqueue(v T) bool {
 	t := q.tail.Load()
-	if t-q.head.Load() >= uint64(len(q.buf)) {
-		return false
+	if t-q.cachedHead >= uint64(len(q.buf)) {
+		q.cachedHead = q.head.Load()
+		if t-q.cachedHead >= uint64(len(q.buf)) {
+			return false
+		}
 	}
 	q.buf[t&q.mask] = v
 	q.tail.Store(t + 1)
-	if d := t + 1 - q.head.Load(); d > q.hwm.Load() {
-		q.hwm.Store(d) // single producer: a plain racy max suffices
+	if t+1-q.cachedHead > q.hwm.Load() {
+		// The cache only lags behind head, so this test can fire spuriously;
+		// refresh before raising the mark so it stays an observed depth.
+		q.cachedHead = q.head.Load()
+		if d := t + 1 - q.cachedHead; d > q.hwm.Load() {
+			q.hwm.Store(d) // single producer: a plain racy max suffices
+		}
 	}
 	return true
 }
@@ -175,8 +195,11 @@ func (q *SPSC[T]) HighWater() int { return int(q.hwm.Load()) }
 func (q *SPSC[T]) TryDequeue() (T, bool) {
 	var zero T
 	h := q.head.Load()
-	if h == q.tail.Load() {
-		return zero, false
+	if h == q.cachedTail {
+		q.cachedTail = q.tail.Load()
+		if h == q.cachedTail {
+			return zero, false
+		}
 	}
 	v := q.buf[h&q.mask]
 	q.buf[h&q.mask] = zero

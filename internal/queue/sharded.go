@@ -1,6 +1,7 @@
 package queue
 
 import (
+	"math/bits"
 	"sync/atomic"
 )
 
@@ -24,12 +25,31 @@ const Overflow = -1
 // rule requires. No total order across producers is promised — the shared
 // MPMC never promised a meaningful one under contention either.
 //
-// Fairness: the consumer scans shards round-robin from a rotating cursor,
-// taking at most one element per shard per rotation, so a hot shard cannot
-// starve the others (or the overflow shard, which occupies the last
-// rotation position). A "doorbell" — an atomic count of pending elements,
-// rung by every enqueue — lets the consumer skip the scan entirely when
-// the queue is empty.
+// Drain cost: the consumer does not scan every shard. An occupancy bitmap
+// (the doorbell mask) carries one bit per shard — producers ring it with a
+// read-mostly test-then-CAS on enqueue, the consumer walks only the set
+// bits — so a drain is O(occupied shards), not O(ShardCount). This is what
+// keeps a wide queue (many shards for many threads) cheap when only a few
+// threads are active: the old full round-robin scan made sharded *lose* to
+// the shared queue at high shard counts.
+//
+// Fairness: the consumer resumes its scan from a rotating cursor within
+// the mask, taking at most one element per shard per rotation, so a hot
+// shard cannot starve the others (or the overflow shard, which occupies
+// the last rotation position). A separate doorbell — an atomic count of
+// pending elements, rung by every enqueue — bounds the batch and lets the
+// consumer skip the drain entirely when the queue is empty. The pending
+// count is the single source of depth truth: the embedded overflow ring's
+// own depth tracking is disabled so overflow-resident elements are not
+// accounted twice.
+//
+// Bit protocol (why no element is stranded): a producer stores into its
+// ring, bumps pending, then sets its bit (skipping the CAS when the bit is
+// already set). The consumer, on finding a set bit over an empty ring,
+// clears the bit and then re-checks the ring, re-setting the bit if an
+// element appeared. Under sequentially consistent atomics every
+// interleaving either leaves the bit set or has the producer's set follow
+// the consumer's clear, so a non-empty ring always has its bit restored.
 //
 // Concurrency contract: Register and TryEnqueue may be called from any
 // number of goroutines (a registered shard id must be used by its owning
@@ -38,13 +58,14 @@ const Overflow = -1
 type Sharded[T any] struct {
 	shards   []*SPSC[T]
 	overflow *MPMC[T]
+	occ      []atomic.Uint64 // doorbell mask: bit s = shard s may be non-empty
 	_        pad
 	nextReg  atomic.Int64 // registration cursor
 	_        pad
 	pending  atomic.Int64 // doorbell: elements enqueued and not yet dequeued
 	_        pad
 	hwm      atomic.Int64 // pending high-water mark, sampled by the consumer
-	cursor   int          // consumer round-robin position (consumer-owned)
+	cursor   int          // consumer rotation position (consumer-owned)
 	depthFn  func(int64)  // optional consumer-side depth sampler
 }
 
@@ -58,11 +79,78 @@ func NewSharded[T any](shardCount, shardCap, overflowCap int) *Sharded[T] {
 	q := &Sharded[T]{
 		shards:   make([]*SPSC[T], shardCount),
 		overflow: NewMPMC[T](overflowCap),
+		occ:      make([]atomic.Uint64, (shardCount+1+63)/64),
 	}
+	// Depth accounting lives in q.pending/q.hwm; the embedded ring keeping
+	// its own CAS-max high-water would double-count every overflow-resident
+	// element and put a second contended line on the overflow hot path.
+	q.overflow.hwmOff = true
 	for i := range q.shards {
 		q.shards[i] = NewSPSC[T](shardCap)
 	}
 	return q
+}
+
+// orBit sets bit i in the mask. CAS loop rather than atomic.Uint64.Or to
+// stay within the module's go directive.
+func (q *Sharded[T]) orBit(i int) {
+	w, m := &q.occ[i>>6], uint64(1)<<(i&63)
+	for {
+		old := w.Load()
+		if old&m != 0 || w.CompareAndSwap(old, old|m) {
+			return
+		}
+	}
+}
+
+// clearBit clears bit i in the mask (consumer only, but producers may be
+// setting neighbors concurrently, hence CAS).
+func (q *Sharded[T]) clearBit(i int) {
+	w, m := &q.occ[i>>6], uint64(1)<<(i&63)
+	for {
+		old := w.Load()
+		if old&m == 0 || w.CompareAndSwap(old, old&^m) {
+			return
+		}
+	}
+}
+
+// ringBell marks shard i possibly non-empty. Read-mostly: steady-state
+// producers find their bit already set and touch no shared line.
+func (q *Sharded[T]) ringBell(i int) {
+	if q.occ[i>>6].Load()&(uint64(1)<<(i&63)) == 0 {
+		q.orBit(i)
+	}
+}
+
+// scanRange returns the lowest set bit in [lo, hi), or -1.
+func (q *Sharded[T]) scanRange(lo, hi int) int {
+	for base := lo &^ 63; base < hi; base += 64 {
+		word := q.occ[base>>6].Load()
+		if lo > base {
+			word &^= (uint64(1) << (lo - base)) - 1
+		}
+		if hi-base < 64 {
+			word &= (uint64(1) << (hi - base)) - 1
+		}
+		if word != 0 {
+			return base + bits.TrailingZeros64(word)
+		}
+	}
+	return -1
+}
+
+// nextOccupied returns the first set bit at or after from, wrapping once
+// through the whole rotation, or -1 when the mask is empty.
+func (q *Sharded[T]) nextOccupied(from int) int {
+	rot := len(q.shards) + 1
+	if s := q.scanRange(from, rot); s >= 0 {
+		return s
+	}
+	if from > 0 {
+		return q.scanRange(0, from)
+	}
+	return -1
 }
 
 // Register claims a private shard for the calling producer, returning its
@@ -95,19 +183,30 @@ func (q *Sharded[T]) Registered() int {
 // A registered producer whose shard is full must retry — falling back to
 // the overflow shard would break its FIFO order.
 func (q *Sharded[T]) TryEnqueue(shard int, v T) bool {
+	bit := len(q.shards) // overflow's rotation position
 	var ok bool
 	if shard >= 0 && shard < len(q.shards) {
 		ok = q.shards[shard].TryEnqueue(v)
+		bit = shard
 	} else {
 		ok = q.overflow.TryEnqueue(v)
 	}
 	if ok {
 		q.pending.Add(1) // ring the doorbell
+		q.ringBell(bit)
 	}
 	return ok
 }
 
-// TryDequeue removes one element, scanning shards round-robin from the
+// shardEmpty reports whether rotation position s holds no visible element.
+func (q *Sharded[T]) shardEmpty(s int) bool {
+	if s < len(q.shards) {
+		return q.shards[s].Empty()
+	}
+	return q.overflow.Empty()
+}
+
+// TryDequeue removes one element, resuming the occupancy scan from the
 // cursor, reporting false when every shard is empty. Single consumer only.
 func (q *Sharded[T]) TryDequeue() (T, bool) {
 	var buf [1]T
@@ -119,12 +218,13 @@ func (q *Sharded[T]) TryDequeue() (T, bool) {
 }
 
 // DequeueBatch fills dst with up to len(dst) elements and returns how many
-// it took. The scan is round-robin — one element per shard per rotation,
-// the overflow shard last in the rotation — so a hot shard cannot starve
-// the rest within a batch. Single consumer only.
+// it took. The scan walks only set bits in the occupancy mask, resuming
+// from a rotating cursor and taking at most one element per shard per
+// rotation, so a hot shard cannot starve the rest within a batch. Single
+// consumer only.
 func (q *Sharded[T]) DequeueBatch(dst []T) int {
 	p := q.pending.Load()
-	if len(dst) == 0 || p == 0 {
+	if len(dst) == 0 || p <= 0 {
 		return 0
 	}
 	// Consumer-side high-water sampling: only this goroutine writes hwm, so
@@ -135,26 +235,39 @@ func (q *Sharded[T]) DequeueBatch(dst []T) int {
 	if q.depthFn != nil {
 		q.depthFn(p)
 	}
-	// The doorbell bounds the scan: once `want` elements are in hand there
-	// is no point finishing the rotation just to observe empty shards (new
+	// The doorbell bounds the batch: once `want` elements are in hand there
+	// is no point walking the mask just to observe empty shards (new
 	// arrivals are picked up next wakeup).
 	want := int(p)
 	if want > len(dst) {
 		want = len(dst)
 	}
-	rot := len(q.shards) + 1 // +1: the overflow shard's rotation position
+	rot := len(q.shards) + 1
 	n, misses := 0, 0
-	for n < want && misses < rot {
-		i := q.cursor % rot
-		q.cursor++
+	for n < want && misses < 2*rot {
+		s := q.nextOccupied(q.cursor)
+		if s < 0 {
+			break // mask empty: every in-flight element will re-ring the bell
+		}
+		q.cursor = s + 1
+		if q.cursor >= rot {
+			q.cursor = 0
+		}
 		var v T
 		var ok bool
-		if i < len(q.shards) {
-			v, ok = q.shards[i].TryDequeue()
+		if s < len(q.shards) {
+			v, ok = q.shards[s].TryDequeue()
 		} else {
 			v, ok = q.overflow.TryDequeue()
 		}
 		if !ok {
+			// Stale bit: clear it, then re-check the ring — a producer may
+			// have stored between the probe and the clear (see the bit
+			// protocol in the type comment).
+			q.clearBit(s)
+			if !q.shardEmpty(s) {
+				q.orBit(s)
+			}
 			misses++
 			continue
 		}
@@ -162,6 +275,8 @@ func (q *Sharded[T]) DequeueBatch(dst []T) int {
 		dst[n] = v
 		n++
 		q.pending.Add(-1)
+		// The bit stays set even if this took the last element: the next
+		// probe of s clears it lazily, off the success path.
 	}
 	return n
 }
@@ -179,9 +294,27 @@ func (q *Sharded[T]) Len() int {
 // Empty reports whether the queue appears empty — one atomic load, no scan.
 func (q *Sharded[T]) Empty() bool { return q.Len() == 0 }
 
+// OccupiedShards reports how many rotation positions (private shards plus
+// overflow) currently have their doorbell bit set. Racy; a diagnostic for
+// the drain cost, which is O(occupied), not O(ShardCount).
+func (q *Sharded[T]) OccupiedShards() int {
+	n := 0
+	for i := range q.occ {
+		n += bits.OnesCount64(q.occ[i].Load())
+	}
+	return n
+}
+
 // HighWater reports the deepest the queue has been observed (total pending
-// across shards, sampled at each consumer drain) since creation.
+// across shards, sampled at each consumer drain) since creation. Elements
+// in the overflow shard are counted once, here: the embedded MPMC's own
+// high-water tracking is disabled.
 func (q *Sharded[T]) HighWater() int { return int(q.hwm.Load()) }
+
+// OverflowHighWater reports the embedded overflow ring's private
+// high-water mark. It must stay zero — overflow elements are accounted in
+// HighWater — and exists so tests can pin the no-double-count contract.
+func (q *Sharded[T]) OverflowHighWater() int { return q.overflow.HighWater() }
 
 // SetDepthSampler installs a consumer-side depth sampler, invoked with the
 // pending count at each non-empty drain (the same point the high-water

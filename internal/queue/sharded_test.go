@@ -188,6 +188,93 @@ func TestShardedHighWater(t *testing.T) {
 	}
 }
 
+// TestShardedOverflowNoDoubleCount is the regression test for the overflow
+// accounting bug: with threads registered beyond ShardCount parked on the
+// MPMC overflow shard, elements sitting there must be counted exactly once
+// — by the consumer-sampled pending high-water and depth sampler — not a
+// second time by the embedded ring's own depth tracking.
+func TestShardedOverflowNoDoubleCount(t *testing.T) {
+	q := NewSharded[int](2, 16, 16)
+	var samples []int64
+	q.SetDepthSampler(func(d int64) { samples = append(samples, d) })
+	a, b := q.Register(), q.Register()
+	over := q.Register() // thread beyond ShardCount: routed to overflow
+	if over != Overflow {
+		t.Fatalf("third registration = %d, want Overflow", over)
+	}
+	// 2 in each private shard, 3 sitting in overflow: true peak depth 7.
+	for i := 0; i < 2; i++ {
+		q.TryEnqueue(a, i)
+		q.TryEnqueue(b, 10+i)
+	}
+	for i := 0; i < 3; i++ {
+		q.TryEnqueue(over, 20+i)
+	}
+	if q.Len() != 7 {
+		t.Fatalf("Len = %d, want 7", q.Len())
+	}
+	// Partial drains while overflow elements sit in place.
+	dst := make([]int, 3)
+	got := q.DequeueBatch(dst)
+	got += q.DequeueBatch(dst)
+	if got != 6 {
+		t.Fatalf("drained %d, want 6", got)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len after partial drain = %d, want 1", q.Len())
+	}
+	if hw := q.HighWater(); hw != 7 {
+		t.Fatalf("HighWater = %d, want exactly 7 (single-source accounting)", hw)
+	}
+	if ohw := q.OverflowHighWater(); ohw != 0 {
+		t.Fatalf("embedded overflow ring kept its own high-water (%d); overflow elements double-counted", ohw)
+	}
+	// The depth sampler saw the pending count per drain: 7 then 4.
+	if len(samples) != 2 || samples[0] != 7 || samples[1] != 4 {
+		t.Fatalf("depth samples = %v, want [7 4]", samples)
+	}
+	// A standalone MPMC still tracks its own high-water.
+	m := NewMPMC[int](8)
+	m.TryEnqueue(1)
+	m.TryEnqueue(2)
+	if m.HighWater() != 2 {
+		t.Fatalf("standalone MPMC HighWater = %d, want 2", m.HighWater())
+	}
+}
+
+// TestShardedDoorbellMask pins the O(occupied) drain property: with one
+// busy shard out of many, the mask holds a single set bit, and drains do
+// not disturb the idle shards' bits.
+func TestShardedDoorbellMask(t *testing.T) {
+	q := NewSharded[int](64, 8, 8) // 65 rotation positions: two mask words
+	s := q.Register()
+	if q.OccupiedShards() != 0 {
+		t.Fatalf("fresh queue OccupiedShards = %d, want 0", q.OccupiedShards())
+	}
+	q.TryEnqueue(s, 1)
+	q.TryEnqueue(s, 2)
+	if q.OccupiedShards() != 1 {
+		t.Fatalf("OccupiedShards = %d, want 1", q.OccupiedShards())
+	}
+	q.TryEnqueue(Overflow, 3) // bit 64: exercises the second mask word
+	if q.OccupiedShards() != 2 {
+		t.Fatalf("OccupiedShards = %d, want 2", q.OccupiedShards())
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := q.TryDequeue(); !ok {
+			t.Fatalf("dequeue %d empty", i)
+		}
+	}
+	if !q.Empty() {
+		t.Fatal("queue not empty")
+	}
+	// Bits clear lazily: one empty DequeueBatch call may leave stale bits,
+	// but they never exceed the shards actually touched.
+	if n := q.OccupiedShards(); n > 2 {
+		t.Fatalf("OccupiedShards = %d after drain, want <= 2", n)
+	}
+}
+
 // TestShardedConcurrent hammers the queue with real producer goroutines
 // (registered and overflow) against the single consumer, verifying nothing
 // is lost or duplicated and per-producer FIFO holds. Runs under -race in

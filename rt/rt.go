@@ -28,6 +28,15 @@
 // Matching is exact (communicator, tag, source) — the wildcard-free common
 // case — and non-overtaking per (source, tag) because the inbox preserves
 // per-producer FIFO order.
+//
+// Options.Agents generalizes Offload mode to N offload goroutines per rank
+// (mirroring the simulator's multi-agent engine): the matching state is
+// partitioned by hash(peer, tag), each agent owns one partition — its own
+// command queue, inbox and matching maps — and every send, receive and
+// delivery for a given (peer, tag) routes to the same partition on both
+// ends, so the single-owner matching discipline and the per-(peer, tag)
+// FIFO guarantee survive unchanged with zero locks added. The default of
+// one agent is the paper's configuration and the historical behaviour.
 package rt
 
 import (
@@ -97,26 +106,37 @@ type pending struct {
 	n    *int32 // received length, written before the done flag
 }
 
+// rtEngine is one offload agent's partition of a rank's engine: its own
+// command queue, inbox and matching maps. With one agent (the default) the
+// single partition is the whole engine. All (peer, tag) routing — command
+// submission, wire delivery, receive posting — lands on the same partition
+// index on both ends, so each partition's matching state has exactly one
+// owning goroutine and no locks exist.
+type rtEngine struct {
+	inbox      *queue.MPMC[message]
+	posted     map[matchKey][]pending
+	unexpected map[matchKey][]message
+	cq         *queue.Sharded[cmd]
+}
+
 // Rank is one process of the real-time cluster.
 type Rank struct {
 	id      int
 	cluster *Cluster
 	mode    Mode
 
-	inbox *queue.MPMC[message]
 	pool  *reqpool.Pool
 	count []int32 // per-slot received byte counts (truncSentinel = error)
 	peer  []int32 // per-slot peer rank, so WaitErr can blame a dead peer
 
 	failed atomic.Bool // set by Cluster.KillRank; the rank's NIC goes dark
 
-	// Matching state: owned by the offload goroutine in Offload mode,
-	// guarded by mu in Direct mode.
-	mu         chan struct{} // 1-token semaphore as the "global MPI lock"
-	posted     map[matchKey][]pending
-	unexpected map[matchKey][]message
+	// Matching state, partitioned per agent: owned by each partition's
+	// offload goroutine in Offload mode, guarded by mu in Direct mode
+	// (which always runs a single partition).
+	mu      chan struct{} // 1-token semaphore as the "global MPI lock"
+	engines []*rtEngine
 
-	cq   *queue.Sharded[cmd]
 	stop atomic.Bool
 
 	// Stats counts operations for tests and diagnostics.
@@ -156,6 +176,11 @@ type Options struct {
 	// CmdBatchMax bounds how many commands the offload goroutine drains
 	// per wakeup before a progress round (default 16).
 	CmdBatchMax int
+	// Agents is the number of offload goroutines per rank in Offload mode
+	// (default 1 — the paper's configuration). Each agent owns one
+	// hash(peer, tag) partition of the rank's matching engine. Direct mode
+	// ignores it (the global lock is the whole point there).
+	Agents int
 }
 
 // Cluster is a set of in-process real-time ranks.
@@ -228,30 +253,57 @@ func NewClusterOpts(n int, mode Mode, o Options) *Cluster {
 	if batch <= 0 {
 		batch = 16
 	}
+	agents := o.Agents
+	if agents <= 0 || mode != Offload {
+		agents = 1
+	}
 	c := &Cluster{mode: mode, batchMax: batch}
 	for i := 0; i < n; i++ {
 		r := &Rank{
-			id:         i,
-			cluster:    c,
-			mode:       mode,
-			inbox:      queue.NewMPMC[message](1 << 12),
-			pool:       reqpool.New(1 << 12),
-			count:      make([]int32, 1<<12),
-			peer:       make([]int32, 1<<12),
-			mu:         make(chan struct{}, 1),
-			posted:     make(map[matchKey][]pending),
-			unexpected: make(map[matchKey][]message),
-			cq:         queue.NewSharded[cmd](shards, 1<<12, 1<<12),
+			id:      i,
+			cluster: c,
+			mode:    mode,
+			pool:    reqpool.New(1 << 12),
+			count:   make([]int32, 1<<12),
+			peer:    make([]int32, 1<<12),
+			mu:      make(chan struct{}, 1),
+		}
+		for a := 0; a < agents; a++ {
+			r.engines = append(r.engines, &rtEngine{
+				inbox:      queue.NewMPMC[message](1 << 12),
+				posted:     make(map[matchKey][]pending),
+				unexpected: make(map[matchKey][]message),
+				cq:         queue.NewSharded[cmd](shards, 1<<8, 1<<12),
+			})
 		}
 		c.ranks = append(c.ranks, r)
 	}
 	if mode == Offload {
 		for _, r := range c.ranks {
-			c.wg.Add(1)
-			go r.offloadLoop()
+			for _, e := range r.engines {
+				c.wg.Add(1)
+				go r.offloadLoop(e)
+			}
 		}
 	}
 	return c
+}
+
+// AgentsPerRank reports the offload-goroutine (engine-partition) count.
+func (c *Cluster) AgentsPerRank() int { return len(c.ranks[0].engines) }
+
+// engIdx routes a (peer, tag) pair to its owning engine partition. The
+// same function runs on both ends: a sender picks its executing agent with
+// engIdx(dst, tag), delivers into the target's partition engIdx(src, tag),
+// and the receiver posts its receive to partition engIdx(src, tag) — so a
+// given (peer, tag) conversation always has one owner per rank.
+func (r *Rank) engIdx(peer, tag int) int {
+	if len(r.engines) == 1 {
+		return 0
+	}
+	h := uint32(peer)*0x9E3779B1 ^ uint32(tag)*0x85EBCA77
+	h ^= h >> 16
+	return int(h % uint32(len(r.engines)))
 }
 
 // Rank returns rank i's handle.
@@ -294,30 +346,42 @@ func (c *Cluster) Close() {
 type Handle int
 
 // Thread is a per-goroutine submission handle: its operations post into
-// the goroutine's private SPSC command shard, so concurrent posters never
-// contend on a shared cache line. Obtain one per goroutine with
-// RegisterThread and do not share it — the shard is single-producer.
+// the goroutine's private SPSC command shard (one per engine partition),
+// so concurrent posters never contend on a shared cache line. Obtain one
+// per goroutine with RegisterThread and do not share it — the shards are
+// single-producer.
 type Thread struct {
-	r     *Rank
-	shard int
+	r      *Rank
+	shards []int // one registered shard per engine partition
 }
 
-// RegisterThread claims a private command shard for the calling goroutine.
-// Once the rank's ShardCount shards are taken, later registrants transparently
-// share the MPMC overflow shard (correct, just contended). In Direct mode
-// the handle simply forwards to the rank.
+// RegisterThread claims a private command shard for the calling goroutine
+// in every engine partition. Once a partition's ShardCount shards are
+// taken, later registrants transparently share its MPMC overflow shard
+// (correct, just contended). In Direct mode the handle simply forwards to
+// the rank.
 func (r *Rank) RegisterThread() *Thread {
-	return &Thread{r: r, shard: r.cq.Register()}
+	th := &Thread{r: r, shards: make([]int, len(r.engines))}
+	for i, e := range r.engines {
+		th.shards[i] = e.cq.Register()
+	}
+	return th
 }
 
 // Rank returns the rank this thread submits to.
 func (th *Thread) Rank() *Rank { return th.r }
 
 // Isend starts a nonblocking send through the thread's private shard.
-func (th *Thread) Isend(buf []byte, dst, tag int) Handle { return th.r.isend(th.shard, buf, dst, tag) }
+func (th *Thread) Isend(buf []byte, dst, tag int) Handle {
+	i := th.r.engIdx(dst, tag)
+	return th.r.isend(i, th.shards[i], buf, dst, tag)
+}
 
 // Irecv starts a nonblocking receive through the thread's private shard.
-func (th *Thread) Irecv(buf []byte, src, tag int) Handle { return th.r.irecv(th.shard, buf, src, tag) }
+func (th *Thread) Irecv(buf []byte, src, tag int) Handle {
+	i := th.r.engIdx(src, tag)
+	return th.r.irecv(i, th.shards[i], buf, src, tag)
+}
 
 // Send is the blocking send (Isend + Wait).
 func (th *Thread) Send(buf []byte, dst, tag int) { th.r.Wait(th.Isend(buf, dst, tag)) }
@@ -344,10 +408,10 @@ func (r *Rank) unlock() { <-r.mu }
 // callers post through the shared overflow shard — use RegisterThread for
 // the contention-free path.
 func (r *Rank) Isend(buf []byte, dst, tag int) Handle {
-	return r.isend(queue.Overflow, buf, dst, tag)
+	return r.isend(r.engIdx(dst, tag), queue.Overflow, buf, dst, tag)
 }
 
-func (r *Rank) isend(shard int, buf []byte, dst, tag int) Handle {
+func (r *Rank) isend(eng, shard int, buf []byte, dst, tag int) Handle {
 	slot := r.getSlot()
 	atomic.StoreInt32(&r.peer[slot], int32(dst))
 	r.Sends.Add(1)
@@ -357,7 +421,7 @@ func (r *Rank) isend(shard int, buf []byte, dst, tag int) Handle {
 		if r.cluster.statsOn.Load() {
 			c.enqNs = time.Now().UnixNano()
 		}
-		for !r.cq.TryEnqueue(shard, c) {
+		for !r.engines[eng].cq.TryEnqueue(shard, c) {
 			runtime.Gosched()
 		}
 		return Handle(slot)
@@ -370,10 +434,10 @@ func (r *Rank) isend(shard int, buf []byte, dst, tag int) Handle {
 
 // Irecv starts a nonblocking receive into buf from src with tag.
 func (r *Rank) Irecv(buf []byte, src, tag int) Handle {
-	return r.irecv(queue.Overflow, buf, src, tag)
+	return r.irecv(r.engIdx(src, tag), queue.Overflow, buf, src, tag)
 }
 
-func (r *Rank) irecv(shard int, buf []byte, src, tag int) Handle {
+func (r *Rank) irecv(eng, shard int, buf []byte, src, tag int) Handle {
 	slot := r.getSlot()
 	atomic.StoreInt32(&r.peer[slot], int32(src))
 	r.Recvs.Add(1)
@@ -382,7 +446,7 @@ func (r *Rank) irecv(shard int, buf []byte, src, tag int) Handle {
 		if r.cluster.statsOn.Load() {
 			c.enqNs = time.Now().UnixNano()
 		}
-		for !r.cq.TryEnqueue(shard, c) {
+		for !r.engines[eng].cq.TryEnqueue(shard, c) {
 			runtime.Gosched()
 		}
 		return Handle(slot)
@@ -409,7 +473,7 @@ func (r *Rank) Wait(h Handle) int {
 			// The waiter must drive progress itself (and contends with
 			// every other thread of this rank for the lock).
 			r.lock()
-			r.drain()
+			r.drain(r.engines[0])
 			r.unlock()
 		}
 		runtime.Gosched()
@@ -437,7 +501,7 @@ func (r *Rank) WaitErr(h Handle) (int, error) {
 	for !r.pool.Done(slot) {
 		if r.mode == Direct {
 			r.lock()
-			r.drain()
+			r.drain(r.engines[0])
 			r.unlock()
 		}
 		if time.Now().After(deadline) {
@@ -469,7 +533,7 @@ func (r *Rank) Test(h Handle) (bool, int) {
 	slot := int(h)
 	if r.mode == Direct {
 		r.lock()
-		r.drain()
+		r.drain(r.engines[0])
 		r.unlock()
 	}
 	if !r.pool.Done(slot) {
@@ -505,7 +569,10 @@ func (r *Rank) doSend(slot, dst, tag int, data []byte) {
 		r.pool.SetDone(slot)
 		return
 	}
-	for !target.inbox.TryEnqueue(message{src: r.id, tag: tag, data: data}) {
+	// Deliver into the target partition that owns (src=r.id, tag) — the
+	// same partition the receiver posts its matching receives to.
+	inbox := target.engines[target.engIdx(r.id, tag)].inbox
+	for !inbox.TryEnqueue(message{src: r.id, tag: tag, data: data}) {
 		if target.failed.Load() {
 			break
 		}
@@ -516,18 +583,19 @@ func (r *Rank) doSend(slot, dst, tag int, data []byte) {
 
 // doRecv runs in engine context.
 func (r *Rank) doRecv(slot, src, tag int, buf []byte) {
+	e := r.engines[r.engIdx(src, tag)]
 	k := matchKey{src, tag}
-	if q := r.unexpected[k]; len(q) > 0 {
+	if q := e.unexpected[k]; len(q) > 0 {
 		m := q[0]
 		if len(q) == 1 {
-			delete(r.unexpected, k)
+			delete(e.unexpected, k)
 		} else {
-			r.unexpected[k] = q[1:]
+			e.unexpected[k] = q[1:]
 		}
 		r.landMessage(slot, buf, m)
 		return
 	}
-	r.posted[k] = append(r.posted[k], pending{slot: slot, buf: buf})
+	e.posted[k] = append(e.posted[k], pending{slot: slot, buf: buf})
 }
 
 // landMessage completes a receive. A message longer than the posted buffer
@@ -545,38 +613,39 @@ func (r *Rank) landMessage(slot int, buf []byte, m message) {
 	r.pool.SetDone(slot)
 }
 
-// drain processes every delivered message (engine context).
-func (r *Rank) drain() {
+// drain processes every delivered message of one partition (engine
+// context).
+func (r *Rank) drain(e *rtEngine) {
 	for {
-		m, ok := r.inbox.TryDequeue()
+		m, ok := e.inbox.TryDequeue()
 		if !ok {
 			return
 		}
 		r.Progress.Add(1)
 		k := matchKey{m.src, m.tag}
-		if q := r.posted[k]; len(q) > 0 {
+		if q := e.posted[k]; len(q) > 0 {
 			p := q[0]
 			if len(q) == 1 {
-				delete(r.posted, k)
+				delete(e.posted, k)
 			} else {
-				r.posted[k] = q[1:]
+				e.posted[k] = q[1:]
 			}
 			r.landMessage(p.slot, p.buf, m)
 			continue
 		}
-		r.unexpected[k] = append(r.unexpected[k], m)
+		e.unexpected[k] = append(e.unexpected[k], m)
 	}
 }
 
-// offloadLoop is the dedicated communication goroutine (§3): it alone
-// touches the matching engine — no locks anywhere. Each wakeup drains up
-// to batchMax commands round-robin across the submission shards, then
-// lands whatever the transport delivered.
-func (r *Rank) offloadLoop() {
+// offloadLoop is one dedicated communication goroutine (§3): it alone
+// touches its partition of the matching engine — no locks anywhere. Each
+// wakeup drains up to batchMax commands, walking only the occupied
+// submission shards, then lands whatever the transport delivered.
+func (r *Rank) offloadLoop(e *rtEngine) {
 	defer r.cluster.wg.Done()
 	batch := make([]cmd, r.cluster.batchMax)
 	for !r.stop.Load() {
-		n := r.cq.DequeueBatch(batch)
+		n := e.cq.DequeueBatch(batch)
 		for i := range batch[:n] {
 			c := &batch[i]
 			var startNs int64
@@ -596,8 +665,8 @@ func (r *Rank) offloadLoop() {
 			c.buf = nil // release the payload reference
 		}
 		worked := n > 0
-		if !r.inbox.Empty() {
-			r.drain()
+		if !e.inbox.Empty() {
+			r.drain(e)
 			worked = true
 		}
 		if !worked {

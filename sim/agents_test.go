@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"testing"
+
+	"mpioffload/internal/model"
+	"mpioffload/internal/obs"
+	"mpioffload/internal/obs/critpath"
+)
+
+// multiAgentProfile returns Endeavor with a fixed n-agent offload engine.
+func multiAgentProfile(n int) *model.Profile {
+	p := model.Endeavor()
+	p.Agents = n
+	return p
+}
+
+// TestMultiAgentFixedCount: Profile.Agents = 2 runs two offload agents per
+// rank; every thread's traffic still completes, per-(peer, tag) order holds,
+// and the metrics report the configured agent count.
+func TestMultiAgentFixedCount(t *testing.T) {
+	const pairs = 4
+	const iters = 8
+	ok := make([]bool, pairs)
+	r := Run(Config{Ranks: 2, Approach: Offload, Profile: multiAgentProfile(2)}, func(env *Env) {
+		env.ParallelN(pairs, func(th *Thread) {
+			if env.Rank() == 0 {
+				for i := 0; i < iters; i++ {
+					th.Comm.Send([]byte{byte(i)}, 1, 100+th.ID)
+				}
+			} else {
+				got := make([]byte, 1)
+				inOrder := true
+				for i := 0; i < iters; i++ {
+					th.Comm.Recv(got, 0, 100+th.ID)
+					inOrder = inOrder && got[0] == byte(i)
+				}
+				ok[th.ID] = inOrder
+			}
+		})
+	})
+	for i, o := range ok {
+		if !o {
+			t.Errorf("thread pair %d lost per-thread FIFO order", i)
+		}
+	}
+	if r.Metrics.ActiveAgents != 2 {
+		t.Fatalf("ActiveAgents = %d, want 2", r.Metrics.ActiveAgents)
+	}
+	if r.Metrics.Submitted == 0 || r.Metrics.Completed != r.Metrics.Submitted {
+		t.Fatalf("submitted=%d completed=%d, want equal and nonzero",
+			r.Metrics.Submitted, r.Metrics.Completed)
+	}
+	if r.Metrics.AgentScaleUps != 0 || r.Metrics.AgentScaleDowns != 0 {
+		t.Fatalf("fixed configuration scaled: ups=%d downs=%d",
+			r.Metrics.AgentScaleUps, r.Metrics.AgentScaleDowns)
+	}
+}
+
+// TestMultiAgentDrainFairness: with a deliberately skewed load — one thread
+// submitting an order of magnitude more than its siblings — no shard group
+// may starve: every thread's commands complete, in order, and the engine
+// drains everything it accepted.
+func TestMultiAgentDrainFairness(t *testing.T) {
+	const threads = 4
+	counts := [threads]int{80, 8, 8, 8} // thread 0 floods its agent's group
+	got := [threads]int{}
+	r := Run(Config{Ranks: 2, Approach: Offload, Profile: multiAgentProfile(2)}, func(env *Env) {
+		env.ParallelN(threads, func(th *Thread) {
+			if env.Rank() == 0 {
+				for i := 0; i < counts[th.ID]; i++ {
+					th.Comm.Send([]byte{byte(i)}, 1, 200+th.ID)
+				}
+			} else {
+				buf := make([]byte, 1)
+				for i := 0; i < counts[th.ID]; i++ {
+					th.Comm.Recv(buf, 0, 200+th.ID)
+					if buf[0] != byte(i) {
+						t.Errorf("thread %d overtaken at %d: got %d", th.ID, i, buf[0])
+						return
+					}
+					got[th.ID]++
+				}
+			}
+		})
+	})
+	for i, n := range got {
+		if n != counts[i] {
+			t.Errorf("thread %d received %d of %d messages (starved)", i, n, counts[i])
+		}
+	}
+	if r.Metrics.Completed != r.Metrics.Submitted {
+		t.Fatalf("completed %d of %d submitted", r.Metrics.Completed, r.Metrics.Submitted)
+	}
+}
+
+// scalingRun floods a 2-rank cluster from many threads under an adaptive
+// agent policy tuned to trip quickly, and returns the run result.
+func scalingRun() Result {
+	p := model.Endeavor()
+	p.Agents = 1
+	p.Policy = &model.AgentPolicy{
+		MinAgents:     1,
+		MaxAgents:     3,
+		ScaleUpDuty:   0.05,
+		ScaleUpDepth:  1,
+		ScaleDownIdle: 0.01,
+		EvalWindow:    25_000,
+		StealProgress: false,
+	}
+	const threads = 8
+	return Run(Config{Ranks: 2, Approach: Offload, Profile: p}, func(env *Env) {
+		env.ParallelN(threads, func(th *Thread) {
+			peer := 1 - env.Rank()
+			buf := make([]byte, 64)
+			for i := 0; i < 40; i++ {
+				rr := th.Comm.Irecv(buf, peer, 300+th.ID)
+				rs := th.Comm.Isend(buf, peer, 300+th.ID)
+				th.Comm.Waitall(&rr, &rs)
+			}
+		})
+	})
+}
+
+// TestAgentScaleUpDeterminism: the adaptive policy must actually scale up
+// under a saturating load, and — because it is evaluated on a virtual-time
+// cadence from metrics the deterministic kernel produces — two identical
+// runs must make bit-identical decisions.
+func TestAgentScaleUpDeterminism(t *testing.T) {
+	a, b := scalingRun(), scalingRun()
+	if a.Metrics.AgentScaleUps == 0 {
+		t.Fatalf("policy never scaled up under saturating load (active=%d)",
+			a.Metrics.ActiveAgents)
+	}
+	if a.Metrics.ActiveAgents < 2 {
+		t.Fatalf("ActiveAgents = %d after scale-up, want ≥ 2", a.Metrics.ActiveAgents)
+	}
+	if a.Elapsed != b.Elapsed {
+		t.Fatalf("nondeterministic elapsed: %d vs %d", a.Elapsed, b.Elapsed)
+	}
+	if a.Metrics.AgentScaleUps != b.Metrics.AgentScaleUps ||
+		a.Metrics.AgentScaleDowns != b.Metrics.AgentScaleDowns ||
+		a.Metrics.ActiveAgents != b.Metrics.ActiveAgents ||
+		a.Metrics.StolenProgress != b.Metrics.StolenProgress {
+		t.Fatalf("nondeterministic scaling: %+v vs %+v", a.Metrics, b.Metrics)
+	}
+	if a.Metrics.Completed != a.Metrics.Submitted {
+		t.Fatalf("completed %d of %d submitted", a.Metrics.Completed, a.Metrics.Submitted)
+	}
+}
+
+// TestStealProgressUnderSaturation: with the policy pinned at MaxAgents = 1
+// and StealProgress on, a saturated backlog must let submitting threads
+// drive progress rounds themselves — and the count must be deterministic.
+func TestStealProgressUnderSaturation(t *testing.T) {
+	run := func() Result {
+		p := model.Endeavor()
+		p.Agents = 1
+		p.Policy = &model.AgentPolicy{
+			MinAgents:     1,
+			MaxAgents:     1,
+			ScaleUpDuty:   0.05,
+			ScaleUpDepth:  1,
+			ScaleDownIdle: 0.01,
+			EvalWindow:    25_000,
+			StealProgress: true,
+		}
+		const threads = 8
+		return Run(Config{Ranks: 2, Approach: Offload, Profile: p}, func(env *Env) {
+			env.ParallelN(threads, func(th *Thread) {
+				peer := 1 - env.Rank()
+				buf := make([]byte, 64)
+				for i := 0; i < 40; i++ {
+					rr := th.Comm.Irecv(buf, peer, 400+th.ID)
+					rs := th.Comm.Isend(buf, peer, 400+th.ID)
+					th.Comm.Waitall(&rr, &rs)
+				}
+			})
+		})
+	}
+	a, b := run(), run()
+	if a.Metrics.StolenProgress == 0 {
+		t.Fatalf("no progress stolen under a saturated single-agent policy")
+	}
+	if a.Metrics.AgentScaleUps != 0 {
+		t.Fatalf("scaled up despite MaxAgents=1: %d", a.Metrics.AgentScaleUps)
+	}
+	if a.Metrics.StolenProgress != b.Metrics.StolenProgress || a.Elapsed != b.Elapsed {
+		t.Fatalf("nondeterministic steal count: %d vs %d", a.Metrics.StolenProgress, b.Metrics.StolenProgress)
+	}
+}
+
+// TestMultiAgentCriticalPath: the critical-path attribution must still
+// partition the run's elapsed time exactly when multiple offload agents are
+// active (agent tasks beyond the first carry distinct names).
+func TestMultiAgentCriticalPath(t *testing.T) {
+	tr := obs.NewTrace(obs.Options{})
+	res := Run(Config{Ranks: 2, Approach: Offload, Profile: multiAgentProfile(2), Trace: tr}, func(env *Env) {
+		env.ParallelN(4, func(th *Thread) {
+			peer := 1 - env.Rank()
+			buf := make([]byte, 4<<10)
+			for i := 0; i < 5; i++ {
+				rr := th.Comm.Irecv(buf, peer, 500+th.ID)
+				rs := th.Comm.Isend(buf, peer, 500+th.ID)
+				th.Comm.Waitall(&rr, &rs)
+			}
+		})
+	})
+	reports := critpath.Analyze(tr)
+	if len(reports) != 1 {
+		t.Fatalf("got %d reports, want 1", len(reports))
+	}
+	rep := reports[0]
+	if rep.Total != int64(res.Elapsed) {
+		t.Fatalf("report total %d != run elapsed %d", rep.Total, res.Elapsed)
+	}
+	if rep.Sum() != rep.Total {
+		t.Fatalf("attribution sums to %d, elapsed is %d (must be exact)\n%s",
+			rep.Sum(), rep.Total, rep.Table())
+	}
+}

@@ -400,8 +400,11 @@ func Run(cfg Config, program func(env *Env)) Result {
 		switch cfg.Approach {
 		case Offload:
 			off = core.New(k, eng)
-			hw--
-			eff -= prof.OffloadThreadCost
+			// Every offload agent occupies one hardware thread and costs
+			// its share of effective compute (one agent — the paper's
+			// configuration — reproduces the historical accounting).
+			hw -= off.Agents()
+			eff -= float64(off.Agents()) * prof.OffloadThreadCost
 		case CommSelf:
 			eng.HasAgent = true
 			spawnCommSelf(k, eng, prof, r)
