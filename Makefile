@@ -26,15 +26,23 @@
 #                     chaos/v1 validator — zero invariant violations, dead
 #                     links rerouted around, crashes detected and recovered
 #                     from, offload detection no slower than baseline.
+#   make telemetry-smoke  self-contained live-telemetry check (cmd/mtbench
+#                     -telemetry-smoke: tiny sim + rt workload, one HTTP
+#                     scrape, Prometheus-format validation), plus benchdiff
+#                     self-diffs of every committed BENCH document — the
+#                     perf-regression observatory's own regression gate.
+#   make benchdiff    compare the working-tree BENCH documents against HEAD's
+#                     committed generation (markdown trend tables; exits
+#                     nonzero past tolerance). Run after a full regeneration.
 #   make mtscale      full sweep, regenerates BENCH_mtscale.json in place.
 #   make topo         full sweep, regenerates BENCH_topo.json in place.
 #   make chaos        full sweep, regenerates BENCH_chaos.json in place.
 
 GO ?= go
 
-.PHONY: ci vet build test race mtscale-smoke bench-smoke critpath-smoke topo-smoke chaos-smoke mtscale topo chaos
+.PHONY: ci vet build test race mtscale-smoke bench-smoke critpath-smoke topo-smoke chaos-smoke telemetry-smoke benchdiff mtscale topo chaos
 
-ci: vet build test race mtscale-smoke critpath-smoke topo-smoke chaos-smoke
+ci: vet build test race mtscale-smoke critpath-smoke topo-smoke chaos-smoke telemetry-smoke
 
 vet:
 	$(GO) vet ./...
@@ -66,6 +74,20 @@ topo-smoke:
 chaos-smoke:
 	$(GO) run ./cmd/chaosbench -out /tmp/chaos_smoke.json > /dev/null
 	$(GO) run ./cmd/chaosbench -validate /tmp/chaos_smoke.json
+
+telemetry-smoke:
+	$(GO) run ./cmd/mtbench -telemetry-smoke
+	$(GO) run ./cmd/benchdiff BENCH_mtscale.json BENCH_mtscale.json > /dev/null
+	$(GO) run ./cmd/benchdiff BENCH_topo.json BENCH_topo.json > /dev/null
+	$(GO) run ./cmd/benchdiff BENCH_chaos.json BENCH_chaos.json > /dev/null
+
+benchdiff:
+	git show HEAD:BENCH_mtscale.json > /tmp/benchdiff_old_mtscale.json
+	git show HEAD:BENCH_topo.json > /tmp/benchdiff_old_topo.json
+	git show HEAD:BENCH_chaos.json > /tmp/benchdiff_old_chaos.json
+	$(GO) run ./cmd/benchdiff /tmp/benchdiff_old_mtscale.json BENCH_mtscale.json
+	$(GO) run ./cmd/benchdiff /tmp/benchdiff_old_topo.json BENCH_topo.json
+	$(GO) run ./cmd/benchdiff /tmp/benchdiff_old_chaos.json BENCH_chaos.json
 
 mtscale:
 	$(GO) run ./cmd/mtbench -mtscale -out BENCH_mtscale.json

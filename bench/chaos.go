@@ -55,6 +55,7 @@ type ChaosCellResult struct {
 	Retransmits    int64            `json:"retransmits"`
 	WatchdogTrips  int64            `json:"watchdog_trips"`
 	RecoveryPathNs int64            `json:"recovery_path_ns"` // critpath recovery category
+	TraceDrops     int64            `json:"trace_drops"`      // obs ring-buffer events overwritten
 	FailDropLinks  []ChaosLinkDrops `json:"fail_drop_links,omitempty"`
 
 	Violations []string `json:"violations,omitempty"`
@@ -194,6 +195,7 @@ func ChaosCell(cfg sim.Config, ranks int, spec ChaosSpec) ChaosCellResult {
 	out.Rerouted = r.Rerouted
 	out.Retransmits = r.Retransmits
 	out.WatchdogTrips = r.WatchdogTrips
+	out.TraceDrops = res.Metrics.EventsDropped
 
 	for _, l := range res.Metrics.Links {
 		if l.FailDrops > 0 {

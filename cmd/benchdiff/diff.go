@@ -1,0 +1,325 @@
+package main
+
+// The diff engine: documents decode to an ordered list of named metrics,
+// each tagged with a class that selects its tolerance band and direction;
+// diffMetrics joins two generations by metric key and classifies every
+// pair as ok / better / regression / info.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"mpioffload/bench"
+)
+
+// metricClass selects the tolerance band and gating rule.
+type metricClass int
+
+const (
+	// classVirtual: deterministic virtual-time result; tight band.
+	classVirtual metricClass = iota
+	// classWall: wall-clock measurement; wide band.
+	classWall
+	// classHard: correctness tripwire; any growth past zero regresses.
+	classHard
+	// classInfo: reported, never gates (duty fractions, batch sizes).
+	classInfo
+)
+
+func (c metricClass) String() string {
+	switch c {
+	case classVirtual:
+		return "virtual"
+	case classWall:
+		return "wall"
+	case classHard:
+		return "hard"
+	}
+	return "info"
+}
+
+// direction says which way is an improvement.
+type direction int
+
+const (
+	lowerBetter direction = iota
+	higherBetter
+)
+
+// metric is one named measurement of a document.
+type metric struct {
+	key   string
+	val   float64
+	class metricClass
+	dir   direction
+}
+
+// doc is a decoded benchmark document.
+type doc struct {
+	schema  string
+	metrics []metric
+}
+
+type tolerances struct {
+	virtual, wall float64
+}
+
+// loadDoc reads a benchmark document and flattens it to metrics according
+// to its schema tag.
+func loadDoc(path string) (*doc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var head struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &head); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	d := &doc{schema: head.Schema}
+	switch head.Schema {
+	case "mtscale/v2":
+		err = d.loadMTScale(data)
+	case "topo/v1":
+		err = d.loadTopo(data)
+	case "chaos/v1":
+		err = d.loadChaos(data)
+	default:
+		return nil, fmt.Errorf("%s: unknown schema %q (want mtscale/v2, topo/v1 or chaos/v1)", path, head.Schema)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(d.metrics) == 0 {
+		return nil, fmt.Errorf("%s: no metrics in document", path)
+	}
+	return d, nil
+}
+
+func (d *doc) add(class metricClass, dir direction, val float64, format string, args ...any) {
+	d.metrics = append(d.metrics, metric{
+		key: fmt.Sprintf(format, args...), val: val, class: class, dir: dir,
+	})
+}
+
+// rtScaleRow mirrors cmd/mtbench's RTScaleRow (package main there, so the
+// type cannot be imported).
+type rtScaleRow struct {
+	Threads          int     `json:"threads"`
+	ShardedNsPerPost float64 `json:"sharded_ns_per_post"`
+	SharedNsPerPost  float64 `json:"shared_ns_per_post"`
+}
+
+func (d *doc) loadMTScale(data []byte) error {
+	var rep struct {
+		Sim    []bench.MTScaleResult `json:"sim"`
+		RT     []rtScaleRow          `json:"rt"`
+		Agents []bench.MTAgentCell   `json:"agents"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return err
+	}
+	for _, r := range rep.Sim {
+		d.add(classVirtual, lowerBetter, r.PostNs, "sim.post_ns{threads=%d}", r.Threads)
+		d.add(classInfo, higherBetter, r.MeanBatch, "sim.mean_batch{threads=%d}", r.Threads)
+	}
+	for _, r := range rep.RT {
+		d.add(classWall, lowerBetter, r.ShardedNsPerPost, "rt.sharded_ns_per_post{threads=%d}", r.Threads)
+		d.add(classWall, lowerBetter, r.SharedNsPerPost, "rt.shared_ns_per_post{threads=%d}", r.Threads)
+	}
+	for _, c := range rep.Agents {
+		d.add(classVirtual, lowerBetter, c.PostNs, "agents.post_ns{threads=%d,agents=%d}", c.Threads, c.Agents)
+		d.add(classVirtual, higherBetter, c.PostsPerMs, "agents.posts_per_ms{threads=%d,agents=%d}", c.Threads, c.Agents)
+		d.add(classInfo, higherBetter, c.DutyIssue+c.DutyProgress, "agents.duty{threads=%d,agents=%d}", c.Threads, c.Agents)
+	}
+	return nil
+}
+
+func (d *doc) loadTopo(data []byte) error {
+	var rep struct {
+		Rows []bench.TopoCollResult `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return err
+	}
+	for _, r := range rep.Rows {
+		d.add(classVirtual, lowerBetter, r.MeanNs, "topo.mean_ns{topo=%s,algo=%s,bytes=%d}", r.Topo, r.Algo, r.Bytes)
+		d.add(classInfo, lowerBetter, r.MaxLinkUtil, "topo.max_link_util{topo=%s,algo=%s,bytes=%d}", r.Topo, r.Algo, r.Bytes)
+	}
+	return nil
+}
+
+func (d *doc) loadChaos(data []byte) error {
+	var rep struct {
+		Cells []bench.ChaosCellResult `json:"cells"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return err
+	}
+	for _, c := range rep.Cells {
+		cell := fmt.Sprintf("{topo=%s,plan=%s,approach=%s}", c.Topo, c.Plan, c.Approach)
+		d.add(classVirtual, lowerBetter, float64(c.ElapsedNs), "chaos.elapsed_ns%s", cell)
+		d.add(classVirtual, lowerBetter, c.RecoverNs, "chaos.recover_ns%s", cell)
+		if c.Plan == "crash" {
+			d.add(classVirtual, lowerBetter, c.DetectNs, "chaos.detect_ns%s", cell)
+		}
+		d.add(classHard, lowerBetter, float64(len(c.Violations)), "chaos.violations%s", cell)
+		d.add(classHard, lowerBetter, float64(c.TraceDrops), "chaos.trace_drops%s", cell)
+		d.add(classInfo, lowerBetter, float64(c.Retransmits), "chaos.retransmits%s", cell)
+		d.add(classInfo, lowerBetter, float64(c.WatchdogTrips), "chaos.watchdog_trips%s", cell)
+	}
+	return nil
+}
+
+// verdict is the classification of one compared metric.
+type verdict int
+
+const (
+	vOK verdict = iota
+	vBetter
+	vRegression
+	vInfo
+	vAdded
+	vRemoved
+)
+
+func (v verdict) String() string {
+	switch v {
+	case vOK:
+		return "ok"
+	case vBetter:
+		return "better"
+	case vRegression:
+		return "REGRESSION"
+	case vInfo:
+		return "info"
+	case vAdded:
+		return "added"
+	}
+	return "removed"
+}
+
+// diffRow is one line of the trend table.
+type diffRow struct {
+	key      string
+	class    metricClass
+	old, new float64
+	delta    float64 // relative change, NaN when old == 0
+	verdict  verdict
+}
+
+// diffMetrics joins the two generations in old-document order (new-only
+// metrics append at the end) and classifies every pair.
+func diffMetrics(olds, news []metric, tol tolerances) []diffRow {
+	newBy := make(map[string]metric, len(news))
+	for _, m := range news {
+		newBy[m.key] = m
+	}
+	var rows []diffRow
+	for _, om := range olds {
+		nm, ok := newBy[om.key]
+		if !ok {
+			rows = append(rows, diffRow{key: om.key, class: om.class, old: om.val, new: math.NaN(), verdict: vRemoved})
+			continue
+		}
+		delete(newBy, om.key)
+		rows = append(rows, compare(om, nm, tol))
+	}
+	for _, nm := range news {
+		if _, stillNew := newBy[nm.key]; stillNew {
+			rows = append(rows, diffRow{key: nm.key, class: nm.class, old: math.NaN(), new: nm.val, verdict: vAdded})
+		}
+	}
+	return rows
+}
+
+func compare(om, nm metric, tol tolerances) diffRow {
+	row := diffRow{key: om.key, class: om.class, old: om.val, new: nm.val}
+	rel := math.NaN()
+	if om.val != 0 {
+		rel = (nm.val - om.val) / math.Abs(om.val)
+	}
+	row.delta = rel
+
+	switch om.class {
+	case classInfo:
+		row.verdict = vInfo
+		return row
+	case classHard:
+		// Tripwires gate on growth, bands be damned; 0 → 0 is the healthy
+		// steady state.
+		switch {
+		case nm.val > om.val:
+			row.verdict = vRegression
+		case nm.val < om.val:
+			row.verdict = vBetter
+		default:
+			row.verdict = vOK
+		}
+		return row
+	}
+
+	band := tol.virtual
+	if om.class == classWall {
+		band = tol.wall
+	}
+	// Signed "worse" fraction: positive means the metric moved the wrong way.
+	worse := rel
+	if om.dir == higherBetter {
+		worse = -rel
+	}
+	switch {
+	case om.val == 0 && nm.val == 0:
+		row.verdict = vOK
+	case om.val == 0:
+		// No baseline to band against; a metric appearing from zero is
+		// surfaced but cannot gate.
+		row.verdict = vInfo
+	case worse > band:
+		row.verdict = vRegression
+	case worse < -band:
+		row.verdict = vBetter
+	default:
+		row.verdict = vOK
+	}
+	return row
+}
+
+// writeTable renders the markdown trend table and returns the regression
+// count.
+func writeTable(w io.Writer, schema, oldPath, newPath string, rows []diffRow) int {
+	fmt.Fprintf(w, "## benchdiff: %s\n\n", schema)
+	fmt.Fprintf(w, "old: `%s` → new: `%s`\n\n", oldPath, newPath)
+	fmt.Fprintln(w, "| metric | class | old | new | Δ | status |")
+	fmt.Fprintln(w, "|---|---|---:|---:|---:|---|")
+	regressions := 0
+	for _, r := range rows {
+		if r.verdict == vRegression {
+			regressions++
+		}
+		fmt.Fprintf(w, "| %s | %s | %s | %s | %s | %s |\n",
+			r.key, r.class, num(r.old), num(r.new), pct(r.delta), r.verdict)
+	}
+	return regressions
+}
+
+func num(v float64) string {
+	if math.IsNaN(v) {
+		return "—"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+func pct(v float64) string {
+	if math.IsNaN(v) {
+		return "—"
+	}
+	return fmt.Sprintf("%+.1f%%", v*100)
+}

@@ -1,0 +1,182 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var oldMTScale = []byte(`{
+  "schema": "mtscale/v2",
+  "profile": "test",
+  "sim": [{"threads": 1, "post_ns": 140, "mean_batch": 1},
+          {"threads": 16, "post_ns": 140, "mean_batch": 13.7}],
+  "rt": [{"threads": 16, "sharded_ns_per_post": 65, "shared_ns_per_post": 68}],
+  "agents": [{"threads": 16, "agents": 2, "post_ns": 140, "mean_batch": 6.7,
+              "duty_issue": 0.5, "duty_progress": 0.1, "duty_idle": 0.4,
+              "polls_per_completion": 0.5, "posts_per_ms": 6000}]
+}`)
+
+// newMTScaleRegressed degrades three metrics, each past its band in its
+// own class: a 30% virtual post-cost blowup (band 10%), a 50% wall-clock
+// blowup (band 35%), and a 20% throughput loss on a higher-is-better
+// virtual metric.
+var newMTScaleRegressed = []byte(`{
+  "schema": "mtscale/v2",
+  "profile": "test",
+  "sim": [{"threads": 1, "post_ns": 140, "mean_batch": 1},
+          {"threads": 16, "post_ns": 182, "mean_batch": 13.7}],
+  "rt": [{"threads": 16, "sharded_ns_per_post": 98, "shared_ns_per_post": 68}],
+  "agents": [{"threads": 16, "agents": 2, "post_ns": 140, "mean_batch": 6.7,
+              "duty_issue": 0.5, "duty_progress": 0.1, "duty_idle": 0.4,
+              "polls_per_completion": 0.5, "posts_per_ms": 4800}]
+}`)
+
+func writeTemp(t *testing.T, name string, data []byte) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSyntheticRegression(t *testing.T) {
+	oldDoc, err := loadDoc(writeTemp(t, "old.json", oldMTScale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newDoc, err := loadDoc(writeTemp(t, "new.json", newMTScaleRegressed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := diffMetrics(oldDoc.metrics, newDoc.metrics, tolerances{virtual: 0.10, wall: 0.35})
+	var buf bytes.Buffer
+	regressions := writeTable(&buf, "mtscale/v2", "old", "new", rows)
+	if regressions != 3 {
+		t.Fatalf("synthetic diff found %d regressions, want 3:\n%s", regressions, buf.String())
+	}
+	for _, want := range []string{
+		"sim.post_ns{threads=16}",
+		"rt.sharded_ns_per_post{threads=16}",
+		"agents.posts_per_ms{threads=16,agents=2}",
+	} {
+		flagged := false
+		for _, r := range rows {
+			if r.key == want && r.verdict == vRegression {
+				flagged = true
+			}
+		}
+		if !flagged {
+			t.Errorf("metric %s not flagged as regression", want)
+		}
+	}
+	// Unchanged rows stay ok; the 1-thread row did not move.
+	for _, r := range rows {
+		if r.key == "sim.post_ns{threads=1}" && r.verdict != vOK {
+			t.Errorf("unchanged metric got verdict %s", r.verdict)
+		}
+	}
+}
+
+func TestSelfDiffIsClean(t *testing.T) {
+	p := writeTemp(t, "doc.json", oldMTScale)
+	d1, err := loadDoc(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, _ := loadDoc(p)
+	for _, r := range diffMetrics(d1.metrics, d2.metrics, tolerances{virtual: 0.10, wall: 0.35}) {
+		if r.verdict == vRegression {
+			t.Errorf("self-diff flags %s as regression", r.key)
+		}
+	}
+}
+
+// TestCommittedBaselinesSelfDiff runs the exact comparison the ci target
+// performs: every committed BENCH document self-diffs clean.
+func TestCommittedBaselinesSelfDiff(t *testing.T) {
+	for _, name := range []string{"BENCH_mtscale.json", "BENCH_topo.json", "BENCH_chaos.json"} {
+		p := filepath.Join("..", "..", name)
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("committed baseline %s missing: %v", name, err)
+		}
+		d, err := loadDoc(p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, r := range diffMetrics(d.metrics, d.metrics, tolerances{virtual: 0.10, wall: 0.35}) {
+			if r.verdict == vRegression {
+				t.Errorf("%s: self-diff flags %s", name, r.key)
+			}
+		}
+	}
+}
+
+// TestChaosHardGates: violations and trace drops regress on ANY growth,
+// even within a 10% band; improvements count as better.
+func TestChaosHardGates(t *testing.T) {
+	mk := func(drops int) []metric {
+		return []metric{
+			{key: "chaos.violations{x}", val: 0, class: classHard, dir: lowerBetter},
+			{key: "chaos.trace_drops{x}", val: float64(drops), class: classHard, dir: lowerBetter},
+		}
+	}
+	rows := diffMetrics(mk(0), mk(3), tolerances{virtual: 0.10, wall: 0.35})
+	found := false
+	for _, r := range rows {
+		if r.key == "chaos.trace_drops{x}" {
+			found = true
+			if r.verdict != vRegression {
+				t.Errorf("trace_drops 0→3 got verdict %s, want REGRESSION", r.verdict)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("trace_drops metric missing from diff")
+	}
+	for _, r := range diffMetrics(mk(3), mk(0), tolerances{}) {
+		if r.key == "chaos.trace_drops{x}" && r.verdict != vBetter {
+			t.Errorf("trace_drops 3→0 got verdict %s, want better", r.verdict)
+		}
+	}
+}
+
+// TestSweepPointChurn: metrics present in only one generation are reported
+// but never gate.
+func TestSweepPointChurn(t *testing.T) {
+	olds := []metric{{key: "a", val: 1, class: classVirtual}, {key: "gone", val: 2, class: classVirtual}}
+	news := []metric{{key: "a", val: 1, class: classVirtual}, {key: "fresh", val: 3, class: classVirtual}}
+	rows := diffMetrics(olds, news, tolerances{virtual: 0.10})
+	var buf bytes.Buffer
+	if n := writeTable(&buf, "s", "o", "n", rows); n != 0 {
+		t.Fatalf("churn produced %d regressions, want 0:\n%s", n, buf.String())
+	}
+	byKey := map[string]verdict{}
+	for _, r := range rows {
+		byKey[r.key] = r.verdict
+	}
+	if byKey["gone"] != vRemoved || byKey["fresh"] != vAdded {
+		t.Fatalf("churn verdicts = %v", byKey)
+	}
+	for _, r := range rows {
+		if r.key == "gone" && !math.IsNaN(r.new) {
+			t.Error("removed metric has a new value")
+		}
+	}
+	if !strings.Contains(buf.String(), "| removed |") || !strings.Contains(buf.String(), "| added |") {
+		t.Errorf("table missing churn rows:\n%s", buf.String())
+	}
+}
+
+func TestSchemaMismatchAndUnknown(t *testing.T) {
+	if _, err := loadDoc(writeTemp(t, "bad.json", []byte(`{"schema":"mystery/v9"}`))); err == nil {
+		t.Error("unknown schema accepted")
+	}
+	if _, err := loadDoc(writeTemp(t, "empty.json", []byte(`{"schema":"topo/v1","rows":[]}`))); err == nil {
+		t.Error("empty document accepted")
+	}
+}

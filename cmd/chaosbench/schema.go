@@ -50,6 +50,12 @@ func validateChaos(rep *ChaosReport) error {
 		if c.ElapsedNs <= 0 {
 			return fmt.Errorf("%s: empty cell", id)
 		}
+		// A chaos cell that wraps the observability ring has silently lost
+		// the events its own violations analysis depends on — the trace no
+		// longer shows what happened around the fault.
+		if c.TraceDrops != 0 {
+			return fmt.Errorf("%s: obs ring dropped %d events; the post-fault trace is incomplete (raise obs RingCap)", id, c.TraceDrops)
+		}
 		switch c.Plan {
 		case "drop":
 			if c.Retransmits == 0 {

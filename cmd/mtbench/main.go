@@ -22,6 +22,7 @@ import (
 
 	"mpioffload/bench"
 	"mpioffload/internal/model"
+	"mpioffload/internal/obs/telemetry"
 	"mpioffload/sim"
 )
 
@@ -36,6 +37,8 @@ func main() {
 	maxThreads := flag.Int("max-threads", 16, "cap the sweep's thread axis (smoke runs cap lower, keeping the 16-thread perf-gate rows out of statistically tiny documents)")
 	agents := flag.Int("agents", 1, "offload agents per rank (Fig 6 mode)")
 	validate := flag.String("validate", "", "validate an existing BENCH_mtscale.json and exit")
+	telemAddr := flag.String("telemetry", "", "serve live telemetry on ADDR (e.g. :9090) while the benchmark runs")
+	telemSmoke := flag.Bool("telemetry-smoke", false, "self-contained telemetry check: tiny workload, one scrape, validate, exit")
 	flag.Parse()
 
 	if *validate != "" {
@@ -51,8 +54,19 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if *telemSmoke {
+		if err := telemetrySmoke(prof); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	var telem *telemetry.Registry
+	if *telemAddr != "" {
+		telem = serveTelemetry(*telemAddr)
+	}
+
 	if *mtscale {
-		runMTScale(prof, *out, *scaleIters, *rtIters, *maxThreads)
+		runMTScale(prof, *out, *scaleIters, *rtIters, *maxThreads, telem)
 		return
 	}
 
@@ -67,7 +81,8 @@ func main() {
 		for i, a := range apps {
 			p := *prof
 			p.Agents = *agents
-			cols[i] = bench.OSUMultithreadedLatency(sim.Config{Approach: a, Profile: &p}, threads, sizes, *iters)
+			cols[i] = bench.OSUMultithreadedLatency(
+				sim.Config{Approach: a, Profile: &p, Telemetry: telem}, threads, sizes, *iters)
 		}
 		for r, sz := range sizes {
 			t.Add(bench.SizeLabel(sz),
@@ -88,7 +103,7 @@ var (
 	mtScaleAgents  = []int{1, 2, 4}
 )
 
-func runMTScale(prof *model.Profile, out string, scaleIters, rtIters, maxThreads int) {
+func runMTScale(prof *model.Profile, out string, scaleIters, rtIters, maxThreads int, telem *telemetry.Registry) {
 	threads := make([]int, 0, len(mtScaleThreads))
 	for _, t := range mtScaleThreads {
 		if t <= maxThreads {
@@ -96,9 +111,9 @@ func runMTScale(prof *model.Profile, out string, scaleIters, rtIters, maxThreads
 		}
 	}
 	p := *prof
-	simRows := bench.MTPostScaling(sim.Config{Approach: sim.Offload, Profile: &p}, threads, scaleIters)
+	simRows := bench.MTPostScaling(sim.Config{Approach: sim.Offload, Profile: &p, Telemetry: telem}, threads, scaleIters)
 	rtRows := rtPostScaling(threads, rtIters)
-	agentCells := bench.MTAgentScaling(sim.Config{Approach: sim.Offload, Profile: &p},
+	agentCells := bench.MTAgentScaling(sim.Config{Approach: sim.Offload, Profile: &p, Telemetry: telem},
 		threads, mtScaleAgents, scaleIters)
 	rep := &MTScaleReport{Schema: mtScaleSchema, Profile: prof.Name, Sim: simRows, RT: rtRows, Agents: agentCells}
 	if err := validateMTScale(rep); err != nil {

@@ -203,6 +203,11 @@ func rtPostScaling(threadCounts []int, iters int) []RTScaleRow {
 func rtMeasurePost(threads, iters int, sharded bool) float64 {
 	c := rt.NewClusterOpts(2, rt.Offload, rt.Options{ShardCount: threads})
 	defer c.Close()
+	if rtTelemetry != nil {
+		// Rebind the rt_* metric names to this (ephemeral) measurement
+		// cluster so a live scraper follows the sweep.
+		c.AttachTelemetry(rtTelemetry)
+	}
 	iters = iters / rtBurst * rtBurst // whole bursts only; receivers must agree
 	if iters == 0 {
 		iters = rtBurst

@@ -1,0 +1,137 @@
+package main
+
+// Live telemetry for the benchmark driver. -telemetry=:PORT serves the
+// registry over HTTP for the life of the process; every sim run and every
+// rt measurement cluster binds its metrics to the same registry
+// (replace-on-reregister: the newest run wins), so a scraper watching
+// /metrics sees per-agent duty cycle, queue depth and kernel events/sec
+// move live as the sweep progresses.
+//
+// -telemetry-smoke is the CI mode: serve on an ephemeral port, run a tiny
+// sim and a tiny rt burst, scrape the endpoint once, validate the
+// Prometheus text format and the presence of both metric families, exit.
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"sync"
+
+	"mpioffload/internal/model"
+	"mpioffload/internal/obs/telemetry"
+	"mpioffload/rt"
+	"mpioffload/sim"
+)
+
+// rtTelemetry, when non-nil, is attached to every measurement cluster the
+// wall-clock sweep creates. Clusters are ephemeral (one per repetition);
+// the registry's sampler rebinding keeps the metric names pointed at the
+// live one.
+var rtTelemetry *telemetry.Registry
+
+// serveTelemetry starts the HTTP endpoint and returns the registry the
+// rest of the run should bind metrics to. The server lives until process
+// exit.
+func serveTelemetry(addr string) *telemetry.Registry {
+	reg := telemetry.New()
+	srv, err := reg.Serve(addr)
+	if err != nil {
+		log.Fatalf("-telemetry: %v", err)
+	}
+	fmt.Printf("telemetry: serving http://%s/metrics (Prometheus) and /vars (JSON)\n", srv.Addr())
+	rtTelemetry = reg
+	return reg
+}
+
+// telemetrySmoke is the self-contained CI check behind -telemetry-smoke.
+func telemetrySmoke(prof *model.Profile) error {
+	reg := telemetry.New()
+	srv, err := reg.Serve("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	// A small sim run binds the kernel self-profile...
+	p := *prof
+	res := sim.Run(sim.Config{Approach: sim.Offload, Profile: &p, Telemetry: reg},
+		func(env *sim.Env) {
+			buf := make([]byte, 64)
+			for i := 0; i < 50; i++ {
+				if env.Rank() == 0 {
+					env.World.Send(buf, 1, i)
+				} else {
+					env.World.Recv(buf, 0, i)
+				}
+			}
+		})
+	if res.Elapsed <= 0 {
+		return fmt.Errorf("telemetry smoke: sim run did not advance virtual time")
+	}
+
+	// ...and a small rt burst binds the wall-clock cluster metrics.
+	c := rt.NewClusterOpts(2, rt.Offload, rt.Options{Agents: 2})
+	defer c.Close()
+	c.AttachTelemetry(reg)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 64)
+		for i := 0; i < 100; i++ {
+			c.Rank(1).Recv(buf, 0, i%4)
+		}
+	}()
+	msg := make([]byte, 64)
+	for i := 0; i < 100; i++ {
+		c.Rank(0).Send(msg, 1, i%4)
+	}
+	wg.Wait()
+
+	// One scrape, validated end to end.
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		return fmt.Errorf("telemetry smoke: scrape: %w", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		return fmt.Errorf("telemetry smoke: content-type %q", ct)
+	}
+	if err := telemetry.ValidatePrometheus(body); err != nil {
+		return fmt.Errorf("telemetry smoke: invalid exposition: %w", err)
+	}
+	for _, want := range []string{
+		`sim_kernel_events_total`,
+		`sim_events_per_sec`,
+		`rt_sends_total{rank="0"} 100`,
+		`rt_agent_duty{rank="0",agent="1"}`,
+		`rt_cmdq_depth{rank="1",agent="0"}`,
+	} {
+		if !strings.Contains(string(body), want) {
+			return fmt.Errorf("telemetry smoke: scrape missing %q", want)
+		}
+	}
+
+	// The JSON endpoint must serve the same registry.
+	resp, err = http.Get("http://" + srv.Addr() + "/vars")
+	if err != nil {
+		return err
+	}
+	jbody, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(string(jbody), "sim_kernel_events_total") {
+		return fmt.Errorf("telemetry smoke: /vars missing sim metrics")
+	}
+	fmt.Printf("telemetry smoke: ok (%d bytes of exposition, %d sim commands completed)\n",
+		len(body), res.Metrics.Completed)
+	return nil
+}

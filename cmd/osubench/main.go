@@ -34,6 +34,7 @@ import (
 	"mpioffload/internal/model"
 	"mpioffload/internal/obs"
 	"mpioffload/internal/obs/critpath"
+	"mpioffload/internal/obs/telemetry"
 	"mpioffload/sim"
 )
 
@@ -52,6 +53,7 @@ func main() {
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON of the runs to FILE")
 	metrics := flag.Bool("metrics", false, "print the per-layer offload metrics table per approach")
 	critPath := flag.Bool("critpath", false, "print each traced run's critical-path attribution (needs -trace)")
+	telemAddr := flag.String("telemetry", "", "serve live telemetry on ADDR (e.g. :9090) while the benchmark runs")
 	flag.Parse()
 
 	apps, err := parseApproaches(*approaches)
@@ -71,11 +73,21 @@ func main() {
 	if *traceFile != "" {
 		tr = obs.NewTrace(obs.Options{})
 	}
+	var telem *telemetry.Registry
+	if *telemAddr != "" {
+		telem = telemetry.New()
+		srv, err := telem.Serve(*telemAddr)
+		if err != nil {
+			log.Fatalf("-telemetry: %v", err)
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry: serving http://%s/metrics (Prometheus) and /vars (JSON)\n", srv.Addr())
+	}
 	baseCfg := func(a sim.Approach) sim.Config {
 		return sim.Config{
 			Approach: a, Profile: clone(prof),
 			Fault: plan, Watchdog: *watchdogUs * 1000,
-			Trace: tr,
+			Trace: tr, Telemetry: telem,
 		}
 	}
 

@@ -53,6 +53,10 @@ func main() {
 		{"Enqueue scaling gates (mtscale-smoke)", []string{"run", "./cmd/mtbench", "-validate", "BENCH_mtscale.json"}},
 		{"Topology sweep (BENCH_topo.json)", []string{"run", "./cmd/topobench", "-iters=" + iters}},
 		{"Chaos sweep (BENCH_chaos.json)", []string{"run", "./cmd/chaosbench"}},
+		{"Telemetry smoke (live registry scrape)", []string{"run", "./cmd/mtbench", "-telemetry-smoke"}},
+		{"Benchdiff (mtscale trend vs itself)", []string{"run", "./cmd/benchdiff", "BENCH_mtscale.json", "BENCH_mtscale.json"}},
+		{"Benchdiff (topo trend vs itself)", []string{"run", "./cmd/benchdiff", "BENCH_topo.json", "BENCH_topo.json"}},
+		{"Benchdiff (chaos trend vs itself)", []string{"run", "./cmd/benchdiff", "BENCH_chaos.json", "BENCH_chaos.json"}},
 	}
 
 	start := time.Now()

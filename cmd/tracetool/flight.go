@@ -1,0 +1,97 @@
+package main
+
+// Flight-dump support: rt's flight recorder writes its post-mortems as
+// ordinary Chrome traces with a "flight <reason>" run label and a
+// metadata.flight block. Those are wall-clock windows, not virtual-time
+// runs, so the critical-path partition invariant does not apply; tracetool
+// prints an incident report instead — what the final milliseconds looked
+// like, per rank, and which operations never completed.
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"mpioffload/internal/obs"
+	"mpioffload/internal/obs/critpath"
+)
+
+// flightMeta is the metadata.flight block DumpFlight embeds.
+type flightMeta struct {
+	Reason     string `json:"reason"`
+	WallBaseNs int64  `json:"wall_base_ns"`
+	Events     int    `json:"events"`
+	Recorded   uint64 `json:"recorded"`
+	Mode       string `json:"mode"`
+	Agents     int    `json:"agents"`
+}
+
+// readFlightMeta extracts the flight block from raw trace JSON (ok=false
+// when the file is not a flight dump).
+func readFlightMeta(raw []byte) (flightMeta, bool) {
+	var doc struct {
+		Metadata struct {
+			Flight *flightMeta `json:"flight"`
+		} `json:"metadata"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil || doc.Metadata.Flight == nil {
+		return flightMeta{}, false
+	}
+	return *doc.Metadata.Flight, true
+}
+
+// isFlightRun reports whether a decoded run is a flight-recorder window.
+func isFlightRun(rd critpath.RunData) bool {
+	return strings.HasPrefix(rd.Label, "flight ")
+}
+
+// flightReport renders the incident report for one flight window.
+func flightReport(rd critpath.RunData, meta flightMeta, haveMeta bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "flight recorder dump: %s\n", rd.Label)
+	if haveMeta {
+		fmt.Fprintf(&b, "  reason=%s mode=%s agents=%d  window events=%d (of %d ever recorded)\n",
+			meta.Reason, meta.Mode, meta.Agents, meta.Events, meta.Recorded)
+	}
+	fmt.Fprintf(&b, "  window: %.3f ms across %d ranks\n", float64(rd.Elapsed)/1e6, len(rd.Events))
+	for rank, evs := range rd.Events {
+		var submits, issues, completes, scales int
+		var watchdogs []obs.Event
+		open := map[int64]bool{} // ids seen alive and not yet completed
+		for _, ev := range evs {
+			switch ev.Kind {
+			case obs.EvCmdEnqueue:
+				submits++
+				open[ev.A] = true
+			case obs.EvCmdDequeue:
+				issues++
+				open[ev.A] = true
+			case obs.EvCmdComplete:
+				completes++
+				delete(open, ev.A)
+			case obs.EvAgentScale:
+				scales++
+			case obs.EvWatchdog:
+				watchdogs = append(watchdogs, ev)
+			}
+		}
+		fmt.Fprintf(&b, "  rank %d: %d events — %d submitted, %d issued, %d completed, %d open at dump, %d agent transitions\n",
+			rank, len(evs), submits, issues, completes, len(open), scales)
+		for _, ev := range watchdogs {
+			fmt.Fprintf(&b, "    watchdog at +%.3f ms (peer %d)\n", float64(ev.TS)/1e6, ev.A)
+		}
+		if len(open) > 0 && len(open) <= 8 {
+			ids := make([]int64, 0, len(open))
+			for id := range open {
+				ids = append(ids, id)
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			for _, id := range ids {
+				// Op ids are slot<<32 | generation (see rt's flight recorder).
+				fmt.Fprintf(&b, "    open op id=%d (slot %d gen %d)\n", id, id>>32, id&0xFFFFFFFF)
+			}
+		}
+	}
+	return b.String()
+}

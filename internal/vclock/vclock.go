@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
+	"time"
 )
 
 // Time is a point in virtual time, in nanoseconds since simulation start.
@@ -39,6 +41,14 @@ type Kernel struct {
 	stopped bool
 	running bool
 	failure any // panic value captured from a task, re-raised by Run
+
+	// Self-profiling counters, readable from other goroutines while Run
+	// executes (the telemetry endpoint samples them live). Everything else
+	// in the kernel is single-goroutine; only these are atomics.
+	statEvents    atomic.Int64 // events popped from the heap
+	statVNow      atomic.Int64 // mirror of now for cross-goroutine reads
+	statWallStart atomic.Int64 // wall-clock ns at Run entry (0 before Run)
+	statWallEnd   atomic.Int64 // wall-clock ns at Run exit (0 while running)
 }
 
 // NewKernel returns an empty kernel at virtual time zero.
@@ -178,6 +188,8 @@ func (k *Kernel) Run() Time {
 		panic("vclock: Run called twice")
 	}
 	k.running = true
+	k.statWallStart.Store(time.Now().UnixNano())
+	defer func() { k.statWallEnd.Store(time.Now().UnixNano()) }()
 	for k.live > 0 {
 		if len(k.events) == 0 {
 			panic("vclock: deadlock: " + k.blockedReport())
@@ -186,6 +198,8 @@ func (k *Kernel) Run() Time {
 		if e.at < k.now {
 			panic("vclock: time went backwards")
 		}
+		k.statEvents.Add(1)
+		k.statVNow.Store(e.at)
 		if e.fn != nil {
 			k.now = e.at
 			e.fn()
@@ -402,4 +416,50 @@ func (t *Task) Hold(r *Resource, d Time) {
 	t.Acquire(r)
 	t.Sleep(d)
 	t.Release(r)
+}
+
+// KernelStats is a live self-profile of the kernel, safe to sample from any
+// goroutine while Run executes. This is the measurement substrate for
+// attacking kernel hot paths (ROADMAP item 1): events/sec tells you whether
+// a change to the heap or task handoff helped, wall-per-sim-second tells
+// you what a paper-scale sweep would cost.
+type KernelStats struct {
+	Events    int64 // events popped from the heap so far
+	VirtualNs int64 // virtual time reached so far
+	WallNs    int64 // wall-clock time spent inside Run so far
+}
+
+// EventsPerSec reports kernel event throughput (0 before Run starts).
+func (s KernelStats) EventsPerSec() float64 {
+	if s.WallNs <= 0 {
+		return 0
+	}
+	return float64(s.Events) / (float64(s.WallNs) / 1e9)
+}
+
+// WallMsPerSimSec reports wall-clock milliseconds spent per simulated
+// second — the "how expensive is this model" number (0 until virtual time
+// advances).
+func (s KernelStats) WallMsPerSimSec() float64 {
+	if s.VirtualNs <= 0 {
+		return 0
+	}
+	return float64(s.WallNs) / 1e6 / (float64(s.VirtualNs) / 1e9)
+}
+
+// Stats samples the kernel's self-profile. Unlike every other Kernel
+// method, Stats is safe to call from any goroutine at any time.
+func (k *Kernel) Stats() KernelStats {
+	s := KernelStats{
+		Events:    k.statEvents.Load(),
+		VirtualNs: k.statVNow.Load(),
+	}
+	if start := k.statWallStart.Load(); start != 0 {
+		if end := k.statWallEnd.Load(); end != 0 {
+			s.WallNs = end - start
+		} else {
+			s.WallNs = time.Now().UnixNano() - start
+		}
+	}
+	return s
 }

@@ -40,9 +40,12 @@
 package rt
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -113,10 +116,15 @@ type pending struct {
 // index on both ends, so each partition's matching state has exactly one
 // owning goroutine and no locks exist.
 type rtEngine struct {
+	idx        int // agent index within the rank
 	inbox      *queue.MPMC[message]
 	posted     map[matchKey][]pending
 	unexpected map[matchKey][]message
 	cq         *queue.Sharded[cmd]
+
+	// Live-telemetry duty accounting, charged by the offload loop only
+	// while the cluster has a telemetry registry attached.
+	busyNs, idleNs atomic.Int64
 }
 
 // Rank is one process of the real-time cluster.
@@ -143,6 +151,15 @@ type Rank struct {
 	Sends, Recvs, Progress atomic.Int64
 	// WatchdogTrips counts WaitErr deadline expirations on this rank.
 	WatchdogTrips atomic.Int64
+	// wdArmed counts WaitErr calls currently spinning under a deadline
+	// (telemetry: how many waiters the watchdog is guarding right now).
+	wdArmed atomic.Int64
+
+	// Flight recorder: the bounded ring of recent transitions, plus the
+	// per-slot operation generation that keeps recycled pool slots from
+	// aliasing Chrome spans (see flight.go).
+	flightR *flightRing
+	opGen   []atomic.Int64
 
 	// Wall-clock latency histograms for the offload path, collected only
 	// while Cluster.SetStatsEnabled(true): queue-wait (enqueue→dequeue) and
@@ -181,6 +198,13 @@ type Options struct {
 	// hash(peer, tag) partition of the rank's matching engine. Direct mode
 	// ignores it (the global lock is the whole point there).
 	Agents int
+	// FlightRingCap is the per-rank flight-recorder capacity in records,
+	// rounded up to a power of two (default 4096).
+	FlightRingCap int
+	// FlightDump, when non-empty, is the file an automatic flight-recorder
+	// post-mortem is written to on the first watchdog trip (equivalent to
+	// calling SetFlightDump). Empty disables the automatic dump.
+	FlightDump string
 }
 
 // Cluster is a set of in-process real-time ranks.
@@ -192,6 +216,17 @@ type Cluster struct {
 	statsOn  atomic.Bool  // latency-histogram collection gate
 	wg       sync.WaitGroup
 	closed   atomic.Bool
+
+	// Flight-recorder state (see flight.go): the recording gate (default
+	// on), the automatic post-mortem path, and the dumped-once latch.
+	flightOn     atomic.Bool
+	flightPath   atomic.Pointer[string]
+	flightDumped atomic.Bool
+
+	// Live-telemetry state (see telemetry.go): duty-cycle timing in the
+	// offload loops runs only while a registry is attached.
+	telemOn      atomic.Bool
+	telemStartNs atomic.Int64
 }
 
 // SetStatsEnabled toggles wall-clock latency-histogram collection on the
@@ -219,8 +254,8 @@ func (r *Rank) Stats() RankStats {
 	}
 }
 
-// Stats aggregates every rank's snapshot (histograms merged).
-func (c *Cluster) Stats() RankStats {
+// statsPass reads every rank's counters and histograms once, in rank order.
+func (c *Cluster) statsPass() RankStats {
 	var s RankStats
 	for _, r := range c.ranks {
 		rs := r.Stats()
@@ -232,6 +267,26 @@ func (c *Cluster) Stats() RankStats {
 		s.Service.Add(rs.Service)
 	}
 	return s
+}
+
+// Stats aggregates every rank's snapshot (histograms merged) into a
+// coherent point-in-time view: the per-rank counters are lock-free and a
+// single pass can tear mid-burst (rank 0 read before its send, rank 1
+// after the matching receive), so Stats re-reads until two consecutive
+// passes agree — a seqlock with the data as its own version. Under
+// sustained traffic the counters never sit still; after a bounded number
+// of passes the latest (momentarily torn) snapshot is returned rather
+// than spinning forever.
+func (c *Cluster) Stats() RankStats {
+	prev := c.statsPass()
+	for i := 0; i < 8; i++ {
+		cur := c.statsPass()
+		if cur == prev {
+			return cur
+		}
+		prev = cur
+	}
+	return prev
 }
 
 // SetWatchdog bounds every subsequent WaitErr by d of wall-clock time
@@ -257,7 +312,15 @@ func NewClusterOpts(n int, mode Mode, o Options) *Cluster {
 	if agents <= 0 || mode != Offload {
 		agents = 1
 	}
+	flightCap := o.FlightRingCap
+	if flightCap <= 0 {
+		flightCap = 1 << 12
+	}
 	c := &Cluster{mode: mode, batchMax: batch}
+	c.flightOn.Store(true)
+	if o.FlightDump != "" {
+		c.SetFlightDump(o.FlightDump)
+	}
 	for i := 0; i < n; i++ {
 		r := &Rank{
 			id:      i,
@@ -267,9 +330,12 @@ func NewClusterOpts(n int, mode Mode, o Options) *Cluster {
 			count:   make([]int32, 1<<12),
 			peer:    make([]int32, 1<<12),
 			mu:      make(chan struct{}, 1),
+			flightR: newFlightRing(flightCap),
+			opGen:   make([]atomic.Int64, 1<<12),
 		}
 		for a := 0; a < agents; a++ {
 			r.engines = append(r.engines, &rtEngine{
+				idx:        a,
 				inbox:      queue.NewMPMC[message](1 << 12),
 				posted:     make(map[matchKey][]pending),
 				unexpected: make(map[matchKey][]message),
@@ -282,7 +348,18 @@ func NewClusterOpts(n int, mode Mode, o Options) *Cluster {
 		for _, r := range c.ranks {
 			for _, e := range r.engines {
 				c.wg.Add(1)
-				go r.offloadLoop(e)
+				// Label each offload goroutine with its rank and agent so
+				// real CPU profiles (go tool pprof -tagfocus/-taghide)
+				// attribute samples to agents instead of one anonymous
+				// goroutine blur.
+				go func(r *Rank, e *rtEngine) {
+					labels := pprof.Labels(
+						"rt_rank", strconv.Itoa(r.id),
+						"rt_agent", strconv.Itoa(e.idx))
+					pprof.Do(context.Background(), labels, func(context.Context) {
+						r.offloadLoop(e)
+					})
+				}(r, e)
 			}
 		}
 	}
@@ -320,6 +397,7 @@ func (c *Cluster) KillRank(i int) {
 	if !r.failed.CompareAndSwap(false, true) {
 		return
 	}
+	r.flight(fkKillRank, -1, i, 0, 0)
 	r.stop.Store(true)
 }
 
@@ -415,6 +493,10 @@ func (r *Rank) isend(eng, shard int, buf []byte, dst, tag int) Handle {
 	slot := r.getSlot()
 	atomic.StoreInt32(&r.peer[slot], int32(dst))
 	r.Sends.Add(1)
+	if r.cluster.flightOn.Load() {
+		id := int64(slot)<<32 | r.opGen[slot].Add(1)&0xFFFFFFFF
+		r.flightR.record(time.Now().UnixNano(), id, packFlight(fkSubmitSend, eng, dst, tag))
+	}
 	if r.mode == Offload {
 		data := append([]byte(nil), buf...) // serialize into the command
 		c := cmd{kind: cmdSend, slot: slot, peer: dst, tag: tag, buf: data}
@@ -441,6 +523,10 @@ func (r *Rank) irecv(eng, shard int, buf []byte, src, tag int) Handle {
 	slot := r.getSlot()
 	atomic.StoreInt32(&r.peer[slot], int32(src))
 	r.Recvs.Add(1)
+	if r.cluster.flightOn.Load() {
+		id := int64(slot)<<32 | r.opGen[slot].Add(1)&0xFFFFFFFF
+		r.flightR.record(time.Now().UnixNano(), id, packFlight(fkSubmitRecv, eng, src, tag))
+	}
 	if r.mode == Offload {
 		c := cmd{kind: cmdRecv, slot: slot, peer: src, tag: tag, buf: buf}
 		if r.cluster.statsOn.Load() {
@@ -498,6 +584,8 @@ func (r *Rank) WaitErr(h Handle) (int, error) {
 	}
 	slot := int(h)
 	deadline := time.Now().Add(d)
+	r.wdArmed.Add(1)
+	defer r.wdArmed.Add(-1)
 	for !r.pool.Done(slot) {
 		if r.mode == Direct {
 			r.lock()
@@ -506,9 +594,15 @@ func (r *Rank) WaitErr(h Handle) (int, error) {
 		}
 		if time.Now().After(deadline) {
 			r.WatchdogTrips.Add(1)
-			if p := int(atomic.LoadInt32(&r.peer[slot])); p >= 0 && p < r.cluster.Size() && r.cluster.Failed(p) {
+			p := int(atomic.LoadInt32(&r.peer[slot]))
+			if r.cluster.flightOn.Load() {
+				r.flight(fkWatchdog, -1, p, 0, r.opID(slot))
+			}
+			if p >= 0 && p < r.cluster.Size() && r.cluster.Failed(p) {
+				r.cluster.autoFlightDump("rank-failed")
 				return 0, fmt.Errorf("%w (rank %d slot %d peer %d after %v)", ErrRankFailed, r.id, slot, p, d)
 			}
+			r.cluster.autoFlightDump("timeout")
 			return 0, fmt.Errorf("%w (rank %d slot %d after %v)", ErrTimeout, r.id, slot, d)
 		}
 		runtime.Gosched()
@@ -567,6 +661,9 @@ func (r *Rank) doSend(slot, dst, tag int, data []byte) {
 	target := r.cluster.ranks[dst]
 	if target.failed.Load() {
 		r.pool.SetDone(slot)
+		if r.cluster.flightOn.Load() {
+			r.flight(fkComplete, r.engIdx(dst, tag), dst, tag, r.opID(slot))
+		}
 		return
 	}
 	// Deliver into the target partition that owns (src=r.id, tag) — the
@@ -579,6 +676,9 @@ func (r *Rank) doSend(slot, dst, tag int, data []byte) {
 		runtime.Gosched()
 	}
 	r.pool.SetDone(slot)
+	if r.cluster.flightOn.Load() {
+		r.flight(fkComplete, r.engIdx(dst, tag), dst, tag, r.opID(slot))
+	}
 }
 
 // doRecv runs in engine context.
@@ -606,11 +706,17 @@ func (r *Rank) landMessage(slot int, buf []byte, m message) {
 	if len(m.data) > len(buf) {
 		atomic.StoreInt32(&r.count[slot], truncSentinel)
 		r.pool.SetDone(slot)
+		if r.cluster.flightOn.Load() {
+			r.flight(fkComplete, r.engIdx(m.src, m.tag), m.src, m.tag, r.opID(slot))
+		}
 		return
 	}
 	copy(buf, m.data)
 	atomic.StoreInt32(&r.count[slot], int32(len(m.data)))
 	r.pool.SetDone(slot)
+	if r.cluster.flightOn.Load() {
+		r.flight(fkComplete, r.engIdx(m.src, m.tag), m.src, m.tag, r.opID(slot))
+	}
 }
 
 // drain processes every delivered message of one partition (engine
@@ -643,11 +749,28 @@ func (r *Rank) drain(e *rtEngine) {
 // submission shards, then lands whatever the transport delivered.
 func (r *Rank) offloadLoop(e *rtEngine) {
 	defer r.cluster.wg.Done()
+	r.flight(fkAgentStart, e.idx, 0, 0, 0)
+	defer r.flight(fkAgentStop, e.idx, 0, 0, 0)
 	batch := make([]cmd, r.cluster.batchMax)
 	for !r.stop.Load() {
+		// Duty-cycle accounting for the live telemetry endpoint: each
+		// wakeup's wall time is charged busy or idle by whether it found
+		// work. Gated so the default loop never calls time.Now.
+		var dutyT0 int64
+		if r.cluster.telemOn.Load() {
+			dutyT0 = time.Now().UnixNano()
+		}
 		n := e.cq.DequeueBatch(batch)
+		flightLive := n > 0 && r.cluster.flightOn.Load()
 		for i := range batch[:n] {
 			c := &batch[i]
+			if flightLive {
+				k := fkIssueSend
+				if c.kind == cmdRecv {
+					k = fkIssueRecv
+				}
+				r.flight(k, e.idx, c.peer, c.tag, r.opID(c.slot))
+			}
 			var startNs int64
 			if c.enqNs != 0 {
 				startNs = time.Now().UnixNano()
@@ -668,6 +791,14 @@ func (r *Rank) offloadLoop(e *rtEngine) {
 		if !e.inbox.Empty() {
 			r.drain(e)
 			worked = true
+		}
+		if dutyT0 != 0 {
+			dt := time.Now().UnixNano() - dutyT0
+			if worked {
+				e.busyNs.Add(dt)
+			} else {
+				e.idleNs.Add(dt)
+			}
 		}
 		if !worked {
 			runtime.Gosched()

@@ -28,6 +28,7 @@ import (
 	"mpioffload/internal/fault"
 	"mpioffload/internal/model"
 	"mpioffload/internal/obs"
+	"mpioffload/internal/obs/telemetry"
 	"mpioffload/internal/proto"
 	"mpioffload/internal/vclock"
 	"mpioffload/mpi"
@@ -99,6 +100,11 @@ type Config struct {
 	// and span events appear in Result (and in the Chrome export). nil
 	// leaves only the always-on counters active.
 	Trace *obs.Trace
+	// Telemetry, when non-nil, registers the run's kernel self-profile
+	// (events/sec, wall-clock per simulated second) with the live registry,
+	// scrapable over HTTP while Run executes. Successive runs rebind the
+	// same metric names, so the newest run wins.
+	Telemetry *telemetry.Registry
 }
 
 // Result summarizes a cluster run.
@@ -357,6 +363,9 @@ func Run(cfg Config, program func(env *Env)) Result {
 	locked := level == Multiple && cfg.Approach != Offload
 
 	k := vclock.NewKernel()
+	if cfg.Telemetry != nil {
+		attachKernelTelemetry(cfg.Telemetry, k, n, cfg.Approach)
+	}
 	fab := fabric.New(k, prof, n)
 	fab.SetFault(cfg.Fault)
 	res := Result{RankElapsed: make([]vclock.Time, n)}

@@ -1,0 +1,29 @@
+package sim
+
+import (
+	"mpioffload/internal/obs/telemetry"
+	"mpioffload/internal/vclock"
+)
+
+// attachKernelTelemetry registers the virtual-time kernel's live
+// self-profile with the registry: events/sec and wall-clock per simulated
+// second are the ROADMAP-1 numbers — whether a kernel hot-path change
+// helped, and what a paper-scale sweep would cost. The samplers read only
+// the kernel's atomic counters, so scraping is safe while Run executes.
+//
+// Registration uses replace-on-reregister semantics: a driver sweeping
+// many short-lived runs through one registry always scrapes the newest
+// kernel, instead of leaking a metric family per run.
+func attachKernelTelemetry(reg *telemetry.Registry, k *vclock.Kernel, ranks int, ap Approach) {
+	reg.Counter("sim_runs_total", "cluster runs started on this registry").Inc()
+	reg.Gauge("sim_ranks", "ranks in the current run").Set(float64(ranks))
+	reg.Gauge("sim_approach", "approach of the current run (sim.Approach enum)").Set(float64(ap))
+	reg.CounterFunc("sim_kernel_events_total", "events executed by the current kernel",
+		func() float64 { return float64(k.Stats().Events) })
+	reg.GaugeFunc("sim_events_per_sec", "current kernel event throughput",
+		func() float64 { return k.Stats().EventsPerSec() })
+	reg.GaugeFunc("sim_wall_ms_per_sim_sec", "wall-clock ms spent per simulated second",
+		func() float64 { return k.Stats().WallMsPerSimSec() })
+	reg.GaugeFunc("sim_virtual_ns", "virtual time reached by the current kernel",
+		func() float64 { return float64(k.Stats().VirtualNs) })
+}
