@@ -26,6 +26,12 @@
 #                     chaos/v1 validator — zero invariant violations, dead
 #                     links rerouted around, crashes detected and recovered
 #                     from, offload detection no slower than baseline.
+#   make net-smoke    real-transport smoke: a reduced cmd/netbench sweep over
+#                     the loopback and Unix-socket backends that must pass the
+#                     net/v1 validator, a two-process cmd/mpirun ping-pong over
+#                     real Unix sockets, and validation of the committed
+#                     BENCH_net.json — whose 16-thread rate rows carry the perf
+#                     gate (offload >= direct message rate on every backend).
 #   make telemetry-smoke  self-contained live-telemetry check (cmd/mtbench
 #                     -telemetry-smoke: tiny sim + rt workload, one HTTP
 #                     scrape, Prometheus-format validation), plus benchdiff
@@ -37,12 +43,13 @@
 #   make mtscale      full sweep, regenerates BENCH_mtscale.json in place.
 #   make topo         full sweep, regenerates BENCH_topo.json in place.
 #   make chaos        full sweep, regenerates BENCH_chaos.json in place.
+#   make net          full sweep, regenerates BENCH_net.json in place.
 
 GO ?= go
 
-.PHONY: ci vet build test race mtscale-smoke bench-smoke critpath-smoke topo-smoke chaos-smoke telemetry-smoke benchdiff mtscale topo chaos
+.PHONY: ci vet build test race mtscale-smoke bench-smoke critpath-smoke topo-smoke chaos-smoke net-smoke telemetry-smoke benchdiff mtscale topo chaos net
 
-ci: vet build test race mtscale-smoke critpath-smoke topo-smoke chaos-smoke telemetry-smoke
+ci: vet build test race mtscale-smoke critpath-smoke topo-smoke chaos-smoke net-smoke telemetry-smoke
 
 vet:
 	$(GO) vet ./...
@@ -75,19 +82,30 @@ chaos-smoke:
 	$(GO) run ./cmd/chaosbench -out /tmp/chaos_smoke.json > /dev/null
 	$(GO) run ./cmd/chaosbench -validate /tmp/chaos_smoke.json
 
+net-smoke:
+	$(GO) run ./cmd/netbench -quick -backends loopback,unix -out /tmp/net_smoke.json > /dev/null
+	$(GO) run ./cmd/netbench -validate /tmp/net_smoke.json
+	$(GO) run ./cmd/netbench -validate BENCH_net.json
+	$(GO) build -o /tmp/mpirun_smoke ./cmd/mpirun
+	$(GO) build -o /tmp/netbench_smoke ./cmd/netbench
+	/tmp/mpirun_smoke -n 2 /tmp/netbench_smoke
+
 telemetry-smoke:
 	$(GO) run ./cmd/mtbench -telemetry-smoke
 	$(GO) run ./cmd/benchdiff BENCH_mtscale.json BENCH_mtscale.json > /dev/null
 	$(GO) run ./cmd/benchdiff BENCH_topo.json BENCH_topo.json > /dev/null
 	$(GO) run ./cmd/benchdiff BENCH_chaos.json BENCH_chaos.json > /dev/null
+	$(GO) run ./cmd/benchdiff BENCH_net.json BENCH_net.json > /dev/null
 
 benchdiff:
 	git show HEAD:BENCH_mtscale.json > /tmp/benchdiff_old_mtscale.json
 	git show HEAD:BENCH_topo.json > /tmp/benchdiff_old_topo.json
 	git show HEAD:BENCH_chaos.json > /tmp/benchdiff_old_chaos.json
+	git show HEAD:BENCH_net.json > /tmp/benchdiff_old_net.json
 	$(GO) run ./cmd/benchdiff /tmp/benchdiff_old_mtscale.json BENCH_mtscale.json
 	$(GO) run ./cmd/benchdiff /tmp/benchdiff_old_topo.json BENCH_topo.json
 	$(GO) run ./cmd/benchdiff /tmp/benchdiff_old_chaos.json BENCH_chaos.json
+	$(GO) run ./cmd/benchdiff /tmp/benchdiff_old_net.json BENCH_net.json
 
 mtscale:
 	$(GO) run ./cmd/mtbench -mtscale -out BENCH_mtscale.json
@@ -100,3 +118,7 @@ topo:
 chaos:
 	$(GO) run ./cmd/chaosbench -out BENCH_chaos.json
 	$(GO) run ./cmd/chaosbench -validate BENCH_chaos.json
+
+net:
+	$(GO) run ./cmd/netbench -out BENCH_net.json
+	$(GO) run ./cmd/netbench -validate BENCH_net.json

@@ -88,8 +88,10 @@ func loadDoc(path string) (*doc, error) {
 		err = d.loadTopo(data)
 	case "chaos/v1":
 		err = d.loadChaos(data)
+	case "net/v1":
+		err = d.loadNet(data)
 	default:
-		return nil, fmt.Errorf("%s: unknown schema %q (want mtscale/v2, topo/v1 or chaos/v1)", path, head.Schema)
+		return nil, fmt.Errorf("%s: unknown schema %q (want mtscale/v2, topo/v1, chaos/v1 or net/v1)", path, head.Schema)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
@@ -171,6 +173,50 @@ func (d *doc) loadChaos(data []byte) error {
 		d.add(classHard, lowerBetter, float64(c.TraceDrops), "chaos.trace_drops%s", cell)
 		d.add(classInfo, lowerBetter, float64(c.Retransmits), "chaos.retransmits%s", cell)
 		d.add(classInfo, lowerBetter, float64(c.WatchdogTrips), "chaos.watchdog_trips%s", cell)
+	}
+	return nil
+}
+
+// netReport mirrors cmd/netbench's NetReport (package main there, so the
+// types cannot be imported). Everything in a net/v1 document is wall
+// clock from real sockets, so all gating rows use the wide band; the
+// sim-vs-real residual ratios are informational — they document the gap
+// between modeled and local hardware, not a quantity with a "right"
+// direction.
+func (d *doc) loadNet(data []byte) error {
+	var rep struct {
+		Backends []struct {
+			Backend  string `json:"backend"`
+			PingPong []struct {
+				Size      int     `json:"size"`
+				LatencyNs float64 `json:"latency_ns"`
+			} `json:"pingpong"`
+			Rate []struct {
+				Threads        int     `json:"threads"`
+				DirectMsgsSec  float64 `json:"direct_msgs_per_sec"`
+				OffloadMsgsSec float64 `json:"offload_msgs_per_sec"`
+			} `json:"rate"`
+		} `json:"backends"`
+		Residuals []struct {
+			Bench   string  `json:"bench"`
+			Backend string  `json:"backend"`
+			Ratio   float64 `json:"ratio"`
+		} `json:"residuals"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return err
+	}
+	for _, b := range rep.Backends {
+		for _, r := range b.PingPong {
+			d.add(classWall, lowerBetter, r.LatencyNs, "net.pingpong_ns{backend=%s,size=%d}", b.Backend, r.Size)
+		}
+		for _, r := range b.Rate {
+			d.add(classWall, higherBetter, r.DirectMsgsSec, "net.direct_msgs_per_sec{backend=%s,threads=%d}", b.Backend, r.Threads)
+			d.add(classWall, higherBetter, r.OffloadMsgsSec, "net.offload_msgs_per_sec{backend=%s,threads=%d}", b.Backend, r.Threads)
+		}
+	}
+	for _, r := range rep.Residuals {
+		d.add(classInfo, lowerBetter, r.Ratio, "net.residual_ratio{bench=%s,backend=%s}", r.Bench, r.Backend)
 	}
 	return nil
 }

@@ -99,7 +99,7 @@ func TestSelfDiffIsClean(t *testing.T) {
 // TestCommittedBaselinesSelfDiff runs the exact comparison the ci target
 // performs: every committed BENCH document self-diffs clean.
 func TestCommittedBaselinesSelfDiff(t *testing.T) {
-	for _, name := range []string{"BENCH_mtscale.json", "BENCH_topo.json", "BENCH_chaos.json"} {
+	for _, name := range []string{"BENCH_mtscale.json", "BENCH_topo.json", "BENCH_chaos.json", "BENCH_net.json"} {
 		p := filepath.Join("..", "..", name)
 		if _, err := os.Stat(p); err != nil {
 			t.Fatalf("committed baseline %s missing: %v", name, err)
@@ -169,6 +169,51 @@ func TestSweepPointChurn(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "| removed |") || !strings.Contains(buf.String(), "| added |") {
 		t.Errorf("table missing churn rows:\n%s", buf.String())
+	}
+}
+
+// TestNetSchema: net/v1 documents flatten to wall-clock latency and rate
+// metrics plus info-class residual ratios; a rate collapse past the wall
+// band gates, a residual drift never does.
+func TestNetSchema(t *testing.T) {
+	mk := func(offload16, ratio float64) []byte {
+		return []byte(`{
+  "schema": "net/v1",
+  "backends": [{"backend": "unix",
+    "pingpong": [{"size": 8, "latency_ns": 21000}],
+    "rate": [{"threads": 16, "direct_msgs_per_sec": 300000,
+              "offload_msgs_per_sec": ` + num(offload16) + `}]}],
+  "residuals": [{"bench": "pingpong/8", "backend": "unix",
+                 "sim_ns": 1200, "real_ns": 21000, "ratio": ` + num(ratio) + `}]
+}`)
+	}
+	oldDoc, err := loadDoc(writeTemp(t, "old.json", mk(330000, 17.5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offload rate halves (past the 35% wall band, higher-better) while the
+	// residual ratio triples (info class, must not gate).
+	newDoc, err := loadDoc(writeTemp(t, "new.json", mk(165000, 52.5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := diffMetrics(oldDoc.metrics, newDoc.metrics, tolerances{virtual: 0.10, wall: 0.35})
+	var buf bytes.Buffer
+	if n := writeTable(&buf, "net/v1", "old", "new", rows); n != 1 {
+		t.Fatalf("net diff found %d regressions, want 1:\n%s", n, buf.String())
+	}
+	verdicts := map[string]verdict{}
+	for _, r := range rows {
+		verdicts[r.key] = r.verdict
+	}
+	if v := verdicts["net.offload_msgs_per_sec{backend=unix,threads=16}"]; v != vRegression {
+		t.Errorf("halved offload rate got verdict %s, want REGRESSION", v)
+	}
+	if v := verdicts["net.residual_ratio{bench=pingpong/8,backend=unix}"]; v != vInfo {
+		t.Errorf("residual ratio drift got verdict %s, want info", v)
+	}
+	if v := verdicts["net.pingpong_ns{backend=unix,size=8}"]; v != vOK {
+		t.Errorf("unchanged latency got verdict %s, want ok", v)
 	}
 }
 

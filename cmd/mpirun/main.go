@@ -1,0 +1,118 @@
+// Command mpirun launches an n-rank job as n separate OS processes over
+// the real socket transport — the multi-process deployment of the rt
+// cluster. Each rank runs its own copy of the given program; the launcher
+// wires them together through MPIOFFLOAD_* environment variables and a
+// shared rendezvous directory in which every rank publishes its listen
+// address (transport.Listen). The program builds its side of the job with
+// transport.EnvConfig + rt.NewWorkerCluster; cmd/netbench is a ready-made
+// worker (e.g. `mpirun -n 2 ./netbench`).
+//
+// Child stdout/stderr lines are prefixed with their rank. The first rank
+// to exit non-zero kills the rest of the job and sets the exit code.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strconv"
+	"sync"
+
+	"mpioffload/internal/transport"
+)
+
+func main() {
+	n := flag.Int("n", 2, "number of ranks (one OS process each)")
+	network := flag.String("network", "unix", `socket family: "unix" or "tcp"`)
+	rdv := flag.String("rdv", "", "rendezvous directory (default: a fresh temp dir, removed on exit)")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: mpirun [-n ranks] [-network unix|tcp] program [args...]")
+		os.Exit(2)
+	}
+	if *n < 1 {
+		fmt.Fprintln(os.Stderr, "mpirun: -n must be at least 1")
+		os.Exit(2)
+	}
+	dir := *rdv
+	if dir == "" {
+		d, err := os.MkdirTemp("", "mpirun-rdv-")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpirun: %v\n", err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(d)
+		dir = d
+	}
+
+	prog, args := flag.Arg(0), flag.Args()[1:]
+	var outMu sync.Mutex // one child's line at a time
+	procs := make([]*exec.Cmd, *n)
+	done := make(chan rankExit, *n)
+	for i := 0; i < *n; i++ {
+		cmd := exec.Command(prog, args...)
+		cmd.Env = append(os.Environ(),
+			transport.EnvRank+"="+strconv.Itoa(i),
+			transport.EnvSize+"="+strconv.Itoa(*n),
+			transport.EnvNetwork+"="+*network,
+			transport.EnvRdv+"="+dir,
+		)
+		outPipe, _ := cmd.StdoutPipe()
+		errPipe, _ := cmd.StderrPipe()
+		if err := cmd.Start(); err != nil {
+			fmt.Fprintf(os.Stderr, "mpirun: rank %d: %v\n", i, err)
+			killAll(procs)
+			os.Exit(1)
+		}
+		procs[i] = cmd
+		// Drain both pipes to EOF before Wait: Wait closes the pipes and
+		// would race the scanners out of the child's final lines.
+		var drained sync.WaitGroup
+		drained.Add(2)
+		go func() { defer drained.Done(); prefixLines(os.Stdout, outPipe, i, &outMu) }()
+		go func() { defer drained.Done(); prefixLines(os.Stderr, errPipe, i, &outMu) }()
+		go func(i int, cmd *exec.Cmd) {
+			drained.Wait()
+			done <- rankExit{rank: i, err: cmd.Wait()}
+		}(i, cmd)
+	}
+
+	code := 0
+	for left := *n; left > 0; left-- {
+		ex := <-done
+		if ex.err != nil && code == 0 {
+			fmt.Fprintf(os.Stderr, "mpirun: rank %d failed: %v\n", ex.rank, ex.err)
+			code = 1
+			killAll(procs) // one dead rank dooms the job; don't hang on the rest
+		}
+	}
+	os.Exit(code)
+}
+
+type rankExit struct {
+	rank int
+	err  error
+}
+
+func killAll(procs []*exec.Cmd) {
+	for _, p := range procs {
+		if p != nil && p.Process != nil {
+			p.Process.Kill()
+		}
+	}
+}
+
+// prefixLines copies one child stream to w, one "[rank i]"-prefixed line
+// at a time.
+func prefixLines(w io.Writer, r io.Reader, rank int, mu *sync.Mutex) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		mu.Lock()
+		fmt.Fprintf(w, "[rank %d] %s\n", rank, sc.Text())
+		mu.Unlock()
+	}
+}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+// netSchema versions BENCH_net.json; bump on incompatible change. v1
+// records, per transport backend, the wall-clock ping-pong latency sweep
+// and the multithreaded message-rate sweep (Direct global-lock baseline
+// vs Offload), plus the sim-vs-real residual rows that anchor the
+// simulator's virtual-time predictions against real sockets.
+const netSchema = "net/v1"
+
+// gateThreads is the thread count whose rate rows carry the perf gate:
+// at the saturated end of the sweep the offload path must move at least
+// as many messages per second as the global-lock baseline. Documents
+// without such rows (smoke sweeps) get structural validation only.
+const gateThreads = 16
+
+// PingPongRow is one message size of a backend's latency sweep: mean
+// one-way wall-clock latency of a single-threaded blocking ping-pong.
+type PingPongRow struct {
+	Size      int     `json:"size"`
+	LatencyNs float64 `json:"latency_ns"`
+}
+
+// RateRow is one thread count of a backend's message-rate sweep: total
+// 64-byte messages per second moved by `threads` flooding submitters,
+// under the Direct (global lock, MPI_THREAD_MULTIPLE) and Offload
+// (command queue + agent) modes.
+type RateRow struct {
+	Threads        int     `json:"threads"`
+	DirectMsgsSec  float64 `json:"direct_msgs_per_sec"`
+	OffloadMsgsSec float64 `json:"offload_msgs_per_sec"`
+}
+
+// NetBackend is one transport backend's measurements.
+type NetBackend struct {
+	Backend  string        `json:"backend"` // loopback | unix | tcp
+	PingPong []PingPongRow `json:"pingpong"`
+	Rate     []RateRow     `json:"rate"`
+}
+
+// NetResidual compares one microbenchmark across the simulator (virtual
+// ns on the modeled Endeavor fabric) and a real backend (wall-clock ns on
+// this host's sockets). Ratio = real/sim: the residual between what the
+// model predicts for its hardware and what the localhost wire delivers.
+type NetResidual struct {
+	Bench   string  `json:"bench"`
+	Backend string  `json:"backend"`
+	SimNs   float64 `json:"sim_ns"`
+	RealNs  float64 `json:"real_ns"`
+	Ratio   float64 `json:"ratio"`
+}
+
+// NetReport is the BENCH_net.json document.
+type NetReport struct {
+	Schema    string        `json:"schema"`
+	Backends  []NetBackend  `json:"backends"`
+	Residuals []NetResidual `json:"residuals"`
+}
+
+// validateNet checks a report's structure — schema tag, non-empty sweeps,
+// ascending axes, positive measurements — and, on documents that reach the
+// saturated gateThreads rows, the perf gate: offload throughput must not
+// fall below the global-lock baseline.
+func validateNet(rep *NetReport) error {
+	if rep.Schema != netSchema {
+		return fmt.Errorf("schema %q, want %q", rep.Schema, netSchema)
+	}
+	if len(rep.Backends) == 0 {
+		return fmt.Errorf("no backends")
+	}
+	gated := false
+	for _, b := range rep.Backends {
+		if b.Backend == "" {
+			return fmt.Errorf("backend with empty name")
+		}
+		if len(b.PingPong) == 0 || len(b.Rate) == 0 {
+			return fmt.Errorf("%s: empty sweep: %d pingpong rows, %d rate rows",
+				b.Backend, len(b.PingPong), len(b.Rate))
+		}
+		if !sort.SliceIsSorted(b.PingPong, func(i, j int) bool { return b.PingPong[i].Size < b.PingPong[j].Size }) {
+			return fmt.Errorf("%s: pingpong sizes not ascending", b.Backend)
+		}
+		if !sort.SliceIsSorted(b.Rate, func(i, j int) bool { return b.Rate[i].Threads < b.Rate[j].Threads }) {
+			return fmt.Errorf("%s: rate thread counts not ascending", b.Backend)
+		}
+		for _, r := range b.PingPong {
+			if r.Size < 1 || r.LatencyNs <= 0 {
+				return fmt.Errorf("%s: bad pingpong row %+v", b.Backend, r)
+			}
+		}
+		for _, r := range b.Rate {
+			if r.Threads < 1 || r.DirectMsgsSec <= 0 || r.OffloadMsgsSec <= 0 {
+				return fmt.Errorf("%s: bad rate row %+v", b.Backend, r)
+			}
+			if r.Threads == gateThreads {
+				gated = true
+				if r.OffloadMsgsSec < r.DirectMsgsSec {
+					return fmt.Errorf("perf gate: %s offload %.0f msgs/s < direct %.0f at %d threads",
+						b.Backend, r.OffloadMsgsSec, r.DirectMsgsSec, gateThreads)
+				}
+			}
+		}
+	}
+	if gated && len(rep.Residuals) == 0 {
+		return fmt.Errorf("full-size document has no sim-vs-real residuals")
+	}
+	for _, r := range rep.Residuals {
+		if r.Bench == "" || r.Backend == "" || r.SimNs <= 0 || r.RealNs <= 0 || r.Ratio <= 0 {
+			return fmt.Errorf("bad residual row %+v", r)
+		}
+		if math.Abs(r.Ratio-r.RealNs/r.SimNs) > 1e-6*r.Ratio {
+			return fmt.Errorf("residual %s/%s: ratio %.4f != real/sim %.4f",
+				r.Bench, r.Backend, r.Ratio, r.RealNs/r.SimNs)
+		}
+	}
+	return nil
+}
+
+// validateNetFile loads and validates a BENCH_net.json document.
+func validateNetFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep NetReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return validateNet(&rep)
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mpioffload/internal/transport"
+	"mpioffload/rt"
+)
+
+// Worker mode: under a cmd/mpirun launch (MPIOFFLOAD_* set) netbench is
+// one rank of a two-process job. Rank 0 measures the ping-pong latency
+// sweep over the real inter-process wire and prints it; rank 1 echoes.
+
+var workerSizes = []int{8, 4 << 10}
+
+const workerIters = 400
+
+func runWorker(cfg transport.SocketConfig) {
+	if cfg.Size != 2 {
+		log.Fatalf("netbench worker: need exactly 2 ranks, launched with %d", cfg.Size)
+	}
+	ep, err := transport.Listen(cfg)
+	if err != nil {
+		log.Fatalf("netbench worker: %v", err)
+	}
+	c := rt.NewWorkerCluster(ep, rt.Offload, rt.Options{})
+	defer c.Close()
+	th := c.Local().RegisterThread()
+	for _, size := range workerSizes {
+		buf := make([]byte, size)
+		if cfg.Rank == 0 {
+			for i := 0; i < warmupIters; i++ {
+				th.Send(buf, 1, 1)
+				th.Recv(buf, 1, 2)
+			}
+			t0 := time.Now()
+			for i := 0; i < workerIters; i++ {
+				th.Send(buf, 1, 1)
+				th.Recv(buf, 1, 2)
+			}
+			oneWay := float64(time.Since(t0).Nanoseconds()) / workerIters / 2
+			fmt.Printf("pingpong %6d B: %8.0f ns one-way (%s, 2 processes)\n",
+				size, oneWay, cfg.Network)
+		} else {
+			for i := 0; i < warmupIters+workerIters; i++ {
+				th.Recv(buf, 0, 1)
+				th.Send(buf, 0, 2)
+			}
+		}
+	}
+}

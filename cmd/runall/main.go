@@ -23,8 +23,14 @@ func main() {
 	iters := "3"
 	fftIters := "2"
 	mtIters := "40"
+	// The quick sweep skips the gate rows and residuals, so it must not
+	// overwrite the committed full-size BENCH_net.json.
+	netOut := "BENCH_net.json"
+	netArgs := []string{"run", "./cmd/netbench", "-out", netOut}
 	if *quick {
 		iters, fftIters, mtIters = "2", "1", "10"
+		netOut = "/tmp/net_quick.json"
+		netArgs = []string{"run", "./cmd/netbench", "-quick", "-out", netOut}
 	}
 
 	steps := []step{
@@ -53,10 +59,13 @@ func main() {
 		{"Enqueue scaling gates (mtscale-smoke)", []string{"run", "./cmd/mtbench", "-validate", "BENCH_mtscale.json"}},
 		{"Topology sweep (BENCH_topo.json)", []string{"run", "./cmd/topobench", "-iters=" + iters}},
 		{"Chaos sweep (BENCH_chaos.json)", []string{"run", "./cmd/chaosbench"}},
+		{"Real-wire sweep (BENCH_net.json)", netArgs},
+		{"Real-wire gates (net validator)", []string{"run", "./cmd/netbench", "-validate", netOut}},
 		{"Telemetry smoke (live registry scrape)", []string{"run", "./cmd/mtbench", "-telemetry-smoke"}},
 		{"Benchdiff (mtscale trend vs itself)", []string{"run", "./cmd/benchdiff", "BENCH_mtscale.json", "BENCH_mtscale.json"}},
 		{"Benchdiff (topo trend vs itself)", []string{"run", "./cmd/benchdiff", "BENCH_topo.json", "BENCH_topo.json"}},
 		{"Benchdiff (chaos trend vs itself)", []string{"run", "./cmd/benchdiff", "BENCH_chaos.json", "BENCH_chaos.json"}},
+		{"Benchdiff (net trend vs itself)", []string{"run", "./cmd/benchdiff", "BENCH_net.json", "BENCH_net.json"}},
 	}
 
 	start := time.Now()

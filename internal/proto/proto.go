@@ -245,7 +245,7 @@ type Engine struct {
 	rto        float64 // plan RTO override (0 = derive per packet)
 	maxRetries int
 	relTx      map[int]*relTxState
-	relRx      map[int]*relRxState
+	relRx      map[int]*RelRx[*fabric.Packet]
 	relStats   RelStats
 
 	// Watchdog: requests in flight longer than Deadline ns are failed with
@@ -276,7 +276,7 @@ func NewEngine(k *vclock.Kernel, f *fabric.Fabric, p *model.Profile, rank int) *
 			e.maxRetries = defaultMaxRetries
 		}
 		e.relTx = make(map[int]*relTxState)
-		e.relRx = make(map[int]*relRxState)
+		e.relRx = make(map[int]*RelRx[*fabric.Packet])
 	}
 	f.Bind(rank, e.deliver)
 	return e

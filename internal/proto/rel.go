@@ -100,11 +100,9 @@ type relTxState struct {
 	pending map[uint64]*relPending
 }
 
-// relRxState is the receiver half: next expected seq plus reorder buffer.
-type relRxState struct {
-	expect uint64 // highest contiguously delivered seq
-	ooo    map[uint64]*fabric.Packet
-}
+// The receiver half — next expected seq plus reorder buffer — is the
+// shared RelRx core (relcore.go), instantiated here over fabric packets
+// and in internal/transport over wire frames.
 
 // relOn reports whether sends to dst must be sequenced: the sublayer runs
 // only when the fault plan can lose packets, and only on inter-node pairs
@@ -185,31 +183,19 @@ func (e *Engine) relDeliver(src int, m *relMsg) {
 	e.F.Send(e.Rank, src, ackBytes, 1, &ackMsg{from: e.Rank, seq: m.seq})
 	rx := e.relRx[src]
 	if rx == nil {
-		rx = &relRxState{ooo: make(map[uint64]*fabric.Packet)}
+		rx = &RelRx[*fabric.Packet]{}
 		e.relRx[src] = rx
 	}
-	switch {
-	case m.seq == rx.expect+1:
-		rx.expect++
-		e.acceptRel(&fabric.Packet{Src: src, Dst: e.Rank, Bytes: m.bytes, Payload: m.inner})
-		for {
-			next, ok := rx.ooo[rx.expect+1]
-			if !ok {
-				break
-			}
-			delete(rx.ooo, rx.expect+1)
-			rx.expect++
-			e.acceptRel(next)
-		}
-	case m.seq > rx.expect+1:
-		if _, buffered := rx.ooo[m.seq]; !buffered {
-			e.relStats.OutOfOrder++
-			rx.ooo[m.seq] = &fabric.Packet{Src: src, Dst: e.Rank, Bytes: m.bytes, Payload: m.inner}
-		} else {
-			e.relStats.DupDropped++
-		}
-	default:
+	pkt := &fabric.Packet{Src: src, Dst: e.Rank, Bytes: m.bytes, Payload: m.inner}
+	ready, dup, held := rx.Accept(m.seq, pkt)
+	if dup {
 		e.relStats.DupDropped++
+	}
+	if held {
+		e.relStats.OutOfOrder++
+	}
+	for _, p := range ready {
+		e.acceptRel(p)
 	}
 }
 

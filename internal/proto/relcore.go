@@ -1,0 +1,67 @@
+package proto
+
+// The transport-agnostic core of the reliable-delivery sublayer: the
+// receiver-side exactly-once, in-order state machine (next expected
+// sequence number plus reorder buffer). The simulated engine (rel.go,
+// NIC timer context, virtual time) and the real transport's wall-clock
+// reliable wrapper (internal/transport.Reliable, socket reader context)
+// both run this exact code — so the reorder/dedup logic stress-tested
+// over real dropping, duplicating, reordering sockets is the same logic
+// the virtual-time chaos sweeps exercise.
+//
+// RelRx is generic over the buffered value: the engine reorders
+// *fabric.Packet, the transport reorders wire frames.
+
+// RelRx is the receiver half of one (src, dst) pair's reliable channel:
+// sequence numbers start at 1 and every value is delivered exactly once,
+// in sequence order, no matter how the wire reordered or duplicated it.
+// Not safe for concurrent use; callers serialize per peer.
+type RelRx[T any] struct {
+	expect uint64 // highest contiguously delivered seq
+	ooo    map[uint64]T
+}
+
+// Accept processes the arrival of sequence number seq carrying v.
+//
+//   - In-order (seq == expect+1): v and any directly following buffered
+//     values are returned in ready, in sequence order.
+//   - Early (seq > expect+1): v is buffered; held is true. A duplicate of
+//     an already-buffered seq reports dup instead.
+//   - Late (seq <= expect): already delivered; dup is true.
+//
+// The caller must deliver ready in order before processing the peer's
+// next arrival.
+func (rx *RelRx[T]) Accept(seq uint64, v T) (ready []T, dup, held bool) {
+	switch {
+	case seq == rx.expect+1:
+		rx.expect++
+		ready = append(ready, v)
+		for {
+			next, ok := rx.ooo[rx.expect+1]
+			if !ok {
+				break
+			}
+			delete(rx.ooo, rx.expect+1)
+			rx.expect++
+			ready = append(ready, next)
+		}
+		return ready, false, false
+	case seq > rx.expect+1:
+		if rx.ooo == nil {
+			rx.ooo = make(map[uint64]T)
+		}
+		if _, buffered := rx.ooo[seq]; buffered {
+			return nil, true, false
+		}
+		rx.ooo[seq] = v
+		return nil, false, true
+	default:
+		return nil, true, false
+	}
+}
+
+// Expect returns the highest contiguously delivered sequence number.
+func (rx *RelRx[T]) Expect() uint64 { return rx.expect }
+
+// Held returns the number of values waiting in the reorder buffer.
+func (rx *RelRx[T]) Held() int { return len(rx.ooo) }

@@ -1,0 +1,147 @@
+package transport
+
+// Lossy wraps an endpoint in deterministic real-network chaos driven by a
+// seeded internal/fault plan: eligible outgoing frames are dropped,
+// duplicated or held back past a successor according to the plan's rates,
+// with every fate drawn from the plan-seeded PRNG — the same plan
+// documents that drive the simulator's fault injector drive a real
+// socket.
+//
+// Only the recoverable frame classes (KindSeq payloads and KindAck
+// acknowledgements — the Reliable wrapper's traffic) are eligible,
+// mirroring fabric.Faultable in the simulator: un-sequenced KindData
+// frames have no recovery layer and pass through untouched. Compose as
+// Reliable(Lossy(Socket(...))) so every loss is retransmitted and every
+// reordering is repaired before the application sees the stream.
+
+import (
+	"sync"
+	"time"
+
+	"mpioffload/internal/fault"
+)
+
+// holdFlushDelay bounds how long a reordered frame can wait for a
+// successor to overtake it: a tail frame with no successor is released by
+// timer instead of stranding (and stalling the reliable layer into a
+// needless retransmit storm).
+const holdFlushDelay = 500 * time.Microsecond
+
+// Lossy is a chaos-injecting endpoint wrapper.
+type Lossy struct {
+	inner Endpoint
+	in    *fault.Injector
+
+	mu   sync.Mutex
+	held []Frame // frames drawn for reordering, awaiting a successor
+	tmr  *time.Timer
+
+	closed bool
+}
+
+// NewLossy wraps inner with the plan's drop/dup/reorder rates. A nil or
+// fault-free plan yields a transparent wrapper.
+func NewLossy(inner Endpoint, plan *fault.Plan) *Lossy {
+	return &Lossy{inner: inner, in: fault.NewInjector(plan)}
+}
+
+// Rank returns the wrapped endpoint's rank.
+func (l *Lossy) Rank() int { return l.inner.Rank() }
+
+// Size returns the wrapped endpoint's rank count.
+func (l *Lossy) Size() int { return l.inner.Size() }
+
+// Bind passes the handler through: chaos applies on the send side only,
+// which is enough — every wire direction is some sender's send side.
+func (l *Lossy) Bind(h Handler) { l.inner.Bind(h) }
+
+// FaultStats returns the injected-fault counters (drawn drops,
+// duplications, reorderings). Taken under the wrapper's lock: fate draws
+// mutate the injector's counters under it, and retransmission timers keep
+// drawing after the application's last send.
+func (l *Lossy) FaultStats() fault.Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.in.Stats()
+}
+
+// Send draws the frame's fate and forwards, duplicates, holds or drops
+// it. Fate draws are serialized under the wrapper's lock, so one seeded
+// plan against one send interleaving replays the same fates.
+func (l *Lossy) Send(f Frame) error {
+	if l.in == nil || !l.in.Lossy() || (f.Kind != KindSeq && f.Kind != KindAck) {
+		return l.inner.Send(f)
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	drop, dup := l.in.DrawPacket()
+	if drop {
+		l.mu.Unlock()
+		return nil // eaten by the wire; the reliable layer retransmits
+	}
+	reorder := l.in.DrawReorder()
+	if reorder {
+		// Hold the frame; it ships after the next frame that passes
+		// through (or after holdFlushDelay if none does).
+		l.held = append(l.held, f)
+		if l.tmr == nil {
+			l.tmr = time.AfterFunc(holdFlushDelay, l.flushHeld)
+		} else {
+			l.tmr.Reset(holdFlushDelay)
+		}
+		l.mu.Unlock()
+		return nil
+	}
+	held := l.takeHeld()
+	l.mu.Unlock()
+	err := l.inner.Send(f)
+	if dup {
+		l.inner.Send(f)
+	}
+	for _, hf := range held {
+		l.inner.Send(hf) // released behind their successor: the reorder
+	}
+	return err
+}
+
+// takeHeld detaches the held frames (caller holds mu).
+func (l *Lossy) takeHeld() []Frame {
+	held := l.held
+	l.held = nil
+	if l.tmr != nil {
+		l.tmr.Stop()
+	}
+	return held
+}
+
+// flushHeld releases stranded held frames (timer context).
+func (l *Lossy) flushHeld() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	held := l.takeHeld()
+	l.mu.Unlock()
+	for _, hf := range held {
+		l.inner.Send(hf)
+	}
+}
+
+// Close releases held frames and closes the wrapped endpoint.
+func (l *Lossy) Close() error {
+	l.mu.Lock()
+	l.closed = true
+	if l.tmr != nil {
+		l.tmr.Stop()
+	}
+	l.held = nil
+	l.mu.Unlock()
+	return l.inner.Close()
+}
+
+// Stats returns the wrapped endpoint's traffic counters.
+func (l *Lossy) Stats() Stats { return l.inner.Stats() }

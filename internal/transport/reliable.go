@@ -1,0 +1,330 @@
+package transport
+
+// Reliable is the wall-clock twin of the simulator's reliable-delivery
+// sublayer (internal/proto/rel.go): every outgoing data frame is wrapped
+// in a per-(src,dst) sequence number and acknowledged by the receiver;
+// unacknowledged frames are retransmitted with exponential backoff; the
+// receiver delivers exactly once and in send order through the same
+// reorder core (proto.RelRx) the simulated engine runs. Stack it over a
+// Lossy socket and the rt layer above sees a clean FIFO wire no matter
+// what the chaos plan does underneath.
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mpioffload/internal/proto"
+)
+
+// RelOptions tunes the wall-clock reliable channel. Zero values select
+// the defaults.
+type RelOptions struct {
+	// RTO is the base retransmission timeout (default 2ms; backoff
+	// doubles it per retry, capped at 16x).
+	RTO time.Duration
+	// MaxRetries caps per-frame retransmissions (default 20); a frame
+	// still unacknowledged afterwards is abandoned and left to the rt
+	// watchdog to report.
+	MaxRetries int
+}
+
+const (
+	defaultRTO        = 2 * time.Millisecond
+	defaultMaxRetries = 20
+	maxBackoffShift   = 4
+)
+
+// relPend is one unacknowledged frame awaiting its ack.
+type relPend struct {
+	f     Frame
+	tries int
+	tmr   *time.Timer
+	done  atomic.Bool // acked, abandoned, or torn down
+}
+
+// relTxPeer is the sender half of one peer pair's channel.
+type relTxPeer struct {
+	mu      sync.Mutex
+	next    uint64
+	pending map[uint64]*relPend
+}
+
+// relRxPeer is the receiver half: the shared reorder core plus the lock
+// that keeps one peer's deliveries in order. Frames from one src arrive
+// on one reader goroutine, but the loopback backend can deliver from
+// several sender goroutines of the same rank, so ordering is enforced
+// here rather than assumed.
+type relRxPeer struct {
+	mu sync.Mutex
+	rx proto.RelRx[Frame]
+}
+
+// Reliable wraps an endpoint with sequencing, acks and retransmission.
+type Reliable struct {
+	inner Endpoint
+	opts  RelOptions
+	h     atomic.Pointer[Handler] // application handler
+
+	mu sync.Mutex // guards the peer maps (not the per-peer state)
+	tx map[int]*relTxPeer
+	rx map[int]*relRxPeer
+
+	// Acks leave through a dedicated pump goroutine, never from the
+	// delivery upcall: onFrame runs on the inner transport's reader, and a
+	// reader that blocks on a full outbound socket while its own inbound
+	// stream backs up deadlocks a bidirectional flood (each side's reader
+	// stuck writing acks into the stream the other side's stuck reader is
+	// not draining). The queue is unbounded — its depth is capped in
+	// practice by the peers' in-flight windows — so the reader never waits.
+	ackMu   sync.Mutex
+	ackCond *sync.Cond
+	ackQ    []Frame
+	pump    sync.WaitGroup
+
+	closed atomic.Bool
+	timers sync.WaitGroup
+
+	relSends, retransmits, acks   atomic.Int64
+	dupDropped, outOfOrder, aband atomic.Int64
+}
+
+// NewReliable wraps inner.
+func NewReliable(inner Endpoint, opts RelOptions) *Reliable {
+	if opts.RTO <= 0 {
+		opts.RTO = defaultRTO
+	}
+	if opts.MaxRetries <= 0 {
+		opts.MaxRetries = defaultMaxRetries
+	}
+	r := &Reliable{
+		inner: inner,
+		opts:  opts,
+		tx:    make(map[int]*relTxPeer),
+		rx:    make(map[int]*relRxPeer),
+	}
+	r.ackCond = sync.NewCond(&r.ackMu)
+	r.pump.Add(1)
+	go r.ackPump()
+	inner.Bind(r.onFrame)
+	return r
+}
+
+// ackPump drains queued acks onto the wire. Runs until Close.
+func (r *Reliable) ackPump() {
+	defer r.pump.Done()
+	for {
+		r.ackMu.Lock()
+		for len(r.ackQ) == 0 && !r.closed.Load() {
+			r.ackCond.Wait()
+		}
+		batch := r.ackQ
+		r.ackQ = nil
+		r.ackMu.Unlock()
+		if len(batch) == 0 && r.closed.Load() {
+			return
+		}
+		for _, f := range batch {
+			r.inner.Send(f)
+		}
+	}
+}
+
+// queueAck enqueues an ack for the pump (delivery context: must not block).
+func (r *Reliable) queueAck(f Frame) {
+	r.ackMu.Lock()
+	r.ackQ = append(r.ackQ, f)
+	r.ackMu.Unlock()
+	r.ackCond.Signal()
+}
+
+// Rank returns the wrapped endpoint's rank.
+func (r *Reliable) Rank() int { return r.inner.Rank() }
+
+// Size returns the wrapped endpoint's rank count.
+func (r *Reliable) Size() int { return r.inner.Size() }
+
+// Bind installs the handler that receives the repaired in-order stream.
+func (r *Reliable) Bind(h Handler) { r.h.Store(&h) }
+
+// RelStats snapshots the channel's counters in the same shape as the
+// simulated engine's (proto.RelStats), so sim and real chaos runs tabulate
+// identically.
+func (r *Reliable) RelStats() proto.RelStats {
+	return proto.RelStats{
+		RelSends:    r.relSends.Load(),
+		Retransmits: r.retransmits.Load(),
+		Acks:        r.acks.Load(),
+		DupDropped:  r.dupDropped.Load(),
+		OutOfOrder:  r.outOfOrder.Load(),
+		Abandoned:   r.aband.Load(),
+	}
+}
+
+func (r *Reliable) txPeer(dst int) *relTxPeer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p := r.tx[dst]
+	if p == nil {
+		p = &relTxPeer{pending: make(map[uint64]*relPend)}
+		r.tx[dst] = p
+	}
+	return p
+}
+
+func (r *Reliable) rxPeer(src int) *relRxPeer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p := r.rx[src]
+	if p == nil {
+		p = &relRxPeer{}
+		r.rx[src] = p
+	}
+	return p
+}
+
+// Send sequences a data frame and transmits it, arming the retransmit
+// timer. Non-data frames (a nested wrapper's control traffic) pass
+// through unsequenced.
+func (r *Reliable) Send(f Frame) error {
+	if r.closed.Load() {
+		return ErrClosed
+	}
+	if f.Kind != KindData {
+		return r.inner.Send(f)
+	}
+	tx := r.txPeer(f.Dst)
+	tx.mu.Lock()
+	tx.next++
+	f.Kind = KindSeq
+	f.Seq = tx.next
+	p := &relPend{f: f}
+	tx.pending[f.Seq] = p
+	tx.mu.Unlock()
+	r.relSends.Add(1)
+	err := r.inner.Send(f)
+	r.arm(tx, p, r.opts.RTO)
+	return err
+}
+
+// arm schedules p's retransmission check after rto.
+func (r *Reliable) arm(tx *relTxPeer, p *relPend, rto time.Duration) {
+	if p.done.Load() || r.closed.Load() {
+		return
+	}
+	r.timers.Add(1)
+	t := time.AfterFunc(rto, func() {
+		defer r.timers.Done()
+		if p.done.Load() || r.closed.Load() {
+			return
+		}
+		if p.tries >= r.opts.MaxRetries {
+			if p.done.CompareAndSwap(false, true) {
+				tx.mu.Lock()
+				delete(tx.pending, p.f.Seq)
+				tx.mu.Unlock()
+				r.aband.Add(1)
+			}
+			return
+		}
+		p.tries++
+		r.retransmits.Add(1)
+		r.inner.Send(p.f)
+		shift := p.tries
+		if shift > maxBackoffShift {
+			shift = maxBackoffShift
+		}
+		r.arm(tx, p, rto*time.Duration(1<<shift))
+	})
+	tx.mu.Lock()
+	if p.done.Load() {
+		// Acked between arm and registration: stop the fresh timer (the
+		// callback's done check makes a lost race harmless).
+		if t.Stop() {
+			r.timers.Done()
+		}
+	} else {
+		p.tmr = t
+	}
+	tx.mu.Unlock()
+}
+
+// onFrame runs in the inner transport's delivery context.
+func (r *Reliable) onFrame(f Frame) {
+	switch f.Kind {
+	case KindSeq:
+		// Ack unconditionally — the sender must stop retransmitting even
+		// duplicates — then deliver exactly once, in order.
+		r.acks.Add(1)
+		r.queueAck(Frame{Kind: KindAck, Src: r.Rank(), Dst: f.Src, Seq: f.Seq})
+		peer := r.rxPeer(f.Src)
+		peer.mu.Lock()
+		ready, dup, held := peer.rx.Accept(f.Seq, f)
+		if dup {
+			r.dupDropped.Add(1)
+		}
+		if held {
+			r.outOfOrder.Add(1)
+		}
+		// Deliver under the per-peer lock: concurrent ready batches from
+		// one src must not interleave out of sequence order.
+		if h := r.h.Load(); h != nil {
+			for _, g := range ready {
+				g.Kind = KindData
+				g.Seq = 0
+				(*h)(g)
+			}
+		}
+		peer.mu.Unlock()
+	case KindAck:
+		tx := r.txPeer(f.Src)
+		tx.mu.Lock()
+		p, ok := tx.pending[f.Seq]
+		if ok {
+			delete(tx.pending, f.Seq)
+		}
+		tx.mu.Unlock()
+		if ok && p.done.CompareAndSwap(false, true) {
+			if p.tmr != nil && p.tmr.Stop() {
+				r.timers.Done()
+			}
+		}
+	default:
+		if h := r.h.Load(); h != nil {
+			(*h)(f)
+		}
+	}
+}
+
+// Close stops every retransmission timer, joins the timer goroutines and
+// closes the wrapped endpoint. Idempotent.
+func (r *Reliable) Close() error {
+	if !r.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	r.mu.Lock()
+	for _, tx := range r.tx {
+		tx.mu.Lock()
+		for seq, p := range tx.pending {
+			if p.done.CompareAndSwap(false, true) {
+				if p.tmr != nil && p.tmr.Stop() {
+					r.timers.Done()
+				}
+			}
+			delete(tx.pending, seq)
+		}
+		tx.mu.Unlock()
+	}
+	r.mu.Unlock()
+	r.ackMu.Lock()
+	r.ackQ = nil
+	r.ackMu.Unlock()
+	r.ackCond.Broadcast()
+	err := r.inner.Close()
+	r.timers.Wait()
+	r.pump.Wait()
+	return err
+}
+
+// Stats returns the wrapped endpoint's traffic counters.
+func (r *Reliable) Stats() Stats { return r.inner.Stats() }

@@ -1,0 +1,372 @@
+package transport
+
+// Socket: the real backend. Each rank owns one listener (a Unix-domain
+// socket or a loopback TCP port) plus one write-only connection per peer
+// it sends to, dialed lazily on first send. Connections are strictly
+// unidirectional — dialed connections are written, accepted connections
+// are read — so there is no connection-identity handshake, no dial race
+// between peers, and per-(src,dst) frame order is exactly the byte order
+// of one TCP/Unix stream.
+//
+// Rendezvous is a shared directory: rank i's listen address is the file
+// <dir>/rank<i>.sock (Unix — the socket file itself) or <dir>/rank<i>.addr
+// (TCP — the bound host:port, written with a tmp+rename so readers never
+// see a partial write). Dialers poll for the peer's artifact until
+// DialTimeout: workers of a cmd/mpirun launch come up in any order.
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Env variable names used by cmd/mpirun to configure worker processes.
+const (
+	EnvRank    = "MPIOFFLOAD_RANK"
+	EnvSize    = "MPIOFFLOAD_SIZE"
+	EnvNetwork = "MPIOFFLOAD_NETWORK"
+	EnvRdv     = "MPIOFFLOAD_RDV"
+)
+
+// DefaultDialTimeout bounds how long a sender waits for a peer's listen
+// address to appear in the rendezvous directory.
+const DefaultDialTimeout = 10 * time.Second
+
+// SocketConfig configures one rank's socket endpoint.
+type SocketConfig struct {
+	Network     string // "unix" or "tcp"
+	Rank, Size  int
+	Dir         string        // shared rendezvous directory
+	DialTimeout time.Duration // 0 = DefaultDialTimeout
+}
+
+// EnvConfig reads a worker configuration from the environment (set by
+// cmd/mpirun). ok is false when the process was not launched as a worker.
+func EnvConfig() (SocketConfig, bool) {
+	rankS, okR := os.LookupEnv(EnvRank)
+	sizeS, okS := os.LookupEnv(EnvSize)
+	dir, okD := os.LookupEnv(EnvRdv)
+	if !okR || !okS || !okD {
+		return SocketConfig{}, false
+	}
+	rank, err1 := strconv.Atoi(rankS)
+	size, err2 := strconv.Atoi(sizeS)
+	if err1 != nil || err2 != nil {
+		return SocketConfig{}, false
+	}
+	network := os.Getenv(EnvNetwork)
+	if network == "" {
+		network = "unix"
+	}
+	return SocketConfig{Network: network, Rank: rank, Size: size, Dir: dir}, true
+}
+
+// Socket is one rank's socket endpoint.
+type Socket struct {
+	cfg      SocketConfig
+	listener net.Listener
+	addrFile string // TCP rendezvous artifact to remove on Close ("" for unix)
+
+	h      atomic.Pointer[Handler]
+	closed atomic.Bool
+
+	mu    sync.Mutex // guards conns and accepted during setup/teardown
+	conns map[int]*peerConn
+	acc   map[net.Conn]struct{}
+
+	wg sync.WaitGroup // accept loop + readers
+	counters
+}
+
+// peerConn is one write-only connection to a peer.
+type peerConn struct {
+	mu   sync.Mutex // serializes writes (agents with different tags share a peer)
+	conn net.Conn
+	err  error // sticky dial failure
+	once sync.Once
+	buf  []byte // encode scratch, reused under mu
+}
+
+// Listen creates rank cfg.Rank's endpoint: binds the listener, publishes
+// the rendezvous artifact and starts the accept loop. Call Bind before
+// peers are expected to send.
+func Listen(cfg SocketConfig) (*Socket, error) {
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = DefaultDialTimeout
+	}
+	switch cfg.Network {
+	case "unix", "tcp":
+	default:
+		return nil, fmt.Errorf("transport: unknown network %q (want unix or tcp)", cfg.Network)
+	}
+	s := &Socket{cfg: cfg, conns: make(map[int]*peerConn), acc: make(map[net.Conn]struct{})}
+	var err error
+	switch cfg.Network {
+	case "unix":
+		path := unixPath(cfg.Dir, cfg.Rank)
+		_ = os.Remove(path) // stale socket from a crashed prior run
+		s.listener, err = net.Listen("unix", path)
+	case "tcp":
+		s.listener, err = net.Listen("tcp", "127.0.0.1:0")
+		if err == nil {
+			s.addrFile = addrPath(cfg.Dir, cfg.Rank)
+			err = publishAddr(s.addrFile, s.listener.Addr().String())
+			if err != nil {
+				s.listener.Close()
+			}
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("transport: rank %d listen: %w", cfg.Rank, err)
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+func unixPath(dir string, rank int) string {
+	return filepath.Join(dir, fmt.Sprintf("rank%d.sock", rank))
+}
+
+func addrPath(dir string, rank int) string {
+	return filepath.Join(dir, fmt.Sprintf("rank%d.addr", rank))
+}
+
+// publishAddr writes addr atomically (tmp + rename) so a polling dialer
+// never reads a partial address.
+func publishAddr(path, addr string) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(addr), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Rank returns this endpoint's rank.
+func (s *Socket) Rank() int { return s.cfg.Rank }
+
+// Size returns the job's rank count.
+func (s *Socket) Size() int { return s.cfg.Size }
+
+// Bind installs the delivery handler.
+func (s *Socket) Bind(h Handler) { s.h.Store(&h) }
+
+// acceptLoop accepts peer connections and spawns one reader per
+// connection until the listener closes.
+func (s *Socket) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return // listener closed (or fatal); Close handles cleanup
+		}
+		s.mu.Lock()
+		if s.closed.Load() {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.acc[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.readLoop(conn)
+	}
+}
+
+// readLoop decodes frames off one accepted connection and hands them to
+// the bound handler. A frame that lands before Bind waits briefly — the
+// window only exists between a worker's Listen and Bind calls.
+func (s *Socket) readLoop(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.acc, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	for {
+		f, err := ReadFrame(conn)
+		if err != nil {
+			return // EOF, peer close, or teardown
+		}
+		s.noteRecv(WireLen(&f))
+		for {
+			if h := s.h.Load(); h != nil {
+				(*h)(f)
+				break
+			}
+			if s.closed.Load() {
+				return
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+}
+
+// Send encodes f and writes it to the destination's connection, dialing
+// it on first use. Send blocks when the kernel socket buffer is full —
+// real backpressure, absorbed by the offload agent rather than the
+// application thread.
+func (s *Socket) Send(f Frame) error {
+	if s.closed.Load() {
+		s.sendErrs.Add(1)
+		return ErrClosed
+	}
+	if f.Dst < 0 || f.Dst >= s.cfg.Size {
+		s.sendErrs.Add(1)
+		return fmt.Errorf("transport: destination rank %d out of range [0,%d)", f.Dst, s.cfg.Size)
+	}
+	pc := s.peer(f.Dst)
+	pc.once.Do(func() { pc.conn, pc.err = s.dial(f.Dst) })
+	if pc.err != nil {
+		s.sendErrs.Add(1)
+		return pc.err
+	}
+	pc.mu.Lock()
+	pc.buf = AppendFrame(pc.buf[:0], &f)
+	_, err := pc.conn.Write(pc.buf)
+	pc.mu.Unlock()
+	if err != nil {
+		s.sendErrs.Add(1)
+		return err
+	}
+	s.noteSend(HeaderLen + len(f.Data))
+	return nil
+}
+
+func (s *Socket) peer(dst int) *peerConn {
+	s.mu.Lock()
+	pc := s.conns[dst]
+	if pc == nil {
+		pc = &peerConn{}
+		s.conns[dst] = pc
+	}
+	s.mu.Unlock()
+	return pc
+}
+
+// dial connects to dst, polling the rendezvous directory until its listen
+// address appears (workers start in any order) or the timeout expires.
+func (s *Socket) dial(dst int) (net.Conn, error) {
+	deadline := time.Now().Add(s.cfg.DialTimeout)
+	backoff := time.Millisecond
+	for {
+		if s.closed.Load() {
+			return nil, ErrClosed
+		}
+		var conn net.Conn
+		var err error
+		switch s.cfg.Network {
+		case "unix":
+			conn, err = net.DialTimeout("unix", unixPath(s.cfg.Dir, dst), time.Until(deadline))
+		case "tcp":
+			var addr []byte
+			addr, err = os.ReadFile(addrPath(s.cfg.Dir, dst))
+			if err == nil {
+				conn, err = net.DialTimeout("tcp", string(addr), time.Until(deadline))
+			}
+		}
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("transport: rank %d cannot reach rank %d after %v: %w",
+				s.cfg.Rank, dst, s.cfg.DialTimeout, err)
+		}
+		time.Sleep(backoff)
+		if backoff < 50*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// Close tears the endpoint down: listener, every dialed and accepted
+// connection, the rendezvous artifact — then joins the accept loop and
+// every reader goroutine. Idempotent.
+func (s *Socket) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		s.wg.Wait()
+		return nil
+	}
+	s.listener.Close() // unix: unlinks the socket file
+	if s.addrFile != "" {
+		os.Remove(s.addrFile)
+	}
+	s.mu.Lock()
+	for _, pc := range s.conns {
+		// Mark never-dialed peers closed so a racing Send fails fast
+		// instead of dialing into a dead mesh.
+		pc.once.Do(func() { pc.err = ErrClosed })
+		if pc.conn != nil {
+			pc.conn.Close()
+		}
+	}
+	for conn := range s.acc {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// Stats returns the endpoint's traffic counters.
+func (s *Socket) Stats() Stats { return s.snapshot() }
+
+// SocketMesh is an in-process mesh of socket endpoints — every rank in
+// one process but every byte through real kernel sockets. Used by tests
+// and by cmd/netbench's single-process sweeps; cmd/mpirun builds the
+// multi-process equivalent with one Listen per worker.
+type SocketMesh struct {
+	dir string
+	eps []*Socket
+}
+
+// NewSocketMesh listens n in-process endpoints on the given network
+// ("unix" or "tcp") rendezvousing through a fresh temp directory.
+func NewSocketMesh(network string, n int) (*SocketMesh, error) {
+	dir, err := os.MkdirTemp("", "mpioffload-net-")
+	if err != nil {
+		return nil, err
+	}
+	m := &SocketMesh{dir: dir, eps: make([]*Socket, n)}
+	for i := 0; i < n; i++ {
+		ep, err := Listen(SocketConfig{Network: network, Rank: i, Size: n, Dir: dir})
+		if err != nil {
+			m.Close()
+			return nil, err
+		}
+		m.eps[i] = ep
+	}
+	return m, nil
+}
+
+// Endpoint returns rank's endpoint.
+func (m *SocketMesh) Endpoint(rank int) Endpoint { return m.eps[rank] }
+
+// Size returns the rank count.
+func (m *SocketMesh) Size() int { return len(m.eps) }
+
+// Dir returns the rendezvous directory (removed by Close).
+func (m *SocketMesh) Dir() string { return m.dir }
+
+// Close closes every endpoint and removes the rendezvous directory.
+func (m *SocketMesh) Close() error {
+	var first error
+	for _, ep := range m.eps {
+		if ep == nil {
+			continue
+		}
+		if err := ep.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if err := os.RemoveAll(m.dir); err != nil && first == nil {
+		first = err
+	}
+	return first
+}

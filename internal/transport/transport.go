@@ -1,0 +1,185 @@
+// Package transport is the wire layer under the real-time (rt) offload
+// stack: a small Endpoint interface that moves framed messages between
+// ranks, with two backends.
+//
+//   - Loopback keeps every rank in one process and delivers frames by
+//     direct function call on the sender's goroutine — the historical rt
+//     "in-process NIC", now behind the interface. It is the default and
+//     the fast path for tests.
+//   - Socket runs each rank over real TCP or Unix-domain sockets, one
+//     rank per OS process if desired (cmd/mpirun spawns workers and the
+//     ranks rendezvous through a shared directory of listen addresses).
+//     The same rt command queue, request pool and offload loop run
+//     unchanged; only the bytes now cross a kernel boundary.
+//
+// Two composable wrappers turn a well-behaved backend into a hostile one
+// and back:
+//
+//   - Lossy drops, duplicates and reorders the recoverable frame classes
+//     according to a seeded internal/fault plan — deterministic fate
+//     draws, real-network chaos.
+//   - Reliable is the wall-clock twin of the simulator's reliable-delivery
+//     sublayer (internal/proto/rel.go): per-pair sequence numbers,
+//     acks, retransmission with exponential backoff, and exactly-once
+//     in-order delivery through the same reorder core (proto.RelRx) the
+//     simulated engine uses.
+//
+// Frames carry the repo-wide causal flow stamp ((src+1)<<32 | seq, see
+// obs.Event.Flow) so cross-process traffic remains traceable with the
+// same tooling as simulated traffic.
+package transport
+
+import (
+	"sync/atomic"
+)
+
+// Frame kinds. Data is an application payload; Seq/Ack belong to the
+// Reliable wrapper (a sequenced payload and its acknowledgement). The
+// Lossy wrapper only mangles Seq and Ack frames — exactly the classes the
+// reliable sublayer knows how to recover, mirroring fabric.Faultable.
+const (
+	KindData uint8 = iota
+	KindSeq
+	KindAck
+)
+
+// Frame is one wire message: routing header, causal flow stamp, payload.
+type Frame struct {
+	Kind     uint8
+	Src, Dst int
+	Tag      int
+	Seq      uint64 // reliable-delivery sequence number (Seq/Ack frames)
+	Flow     int64  // causal flow id, (src+1)<<32 | seq; 0 = unstamped
+	Data     []byte
+}
+
+// Handler consumes delivered frames. It is invoked in transport context:
+// the sender's goroutine for Loopback, a per-connection reader goroutine
+// for Socket. Handlers must not retain f.Data past the call unless they
+// own the backend's allocation discipline (Socket allocates per frame;
+// Loopback passes the sender's slice through).
+type Handler func(f Frame)
+
+// Stats is a point-in-time snapshot of an endpoint's traffic counters.
+type Stats struct {
+	FramesSent, BytesSent int64
+	FramesRecv, BytesRecv int64
+	SendErrs              int64
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.FramesSent += o.FramesSent
+	s.BytesSent += o.BytesSent
+	s.FramesRecv += o.FramesRecv
+	s.BytesRecv += o.BytesRecv
+	s.SendErrs += o.SendErrs
+}
+
+// counters is the shared atomic implementation behind Stats.
+type counters struct {
+	framesSent, bytesSent atomic.Int64
+	framesRecv, bytesRecv atomic.Int64
+	sendErrs              atomic.Int64
+}
+
+func (c *counters) noteSend(n int) {
+	c.framesSent.Add(1)
+	c.bytesSent.Add(int64(n))
+}
+
+func (c *counters) noteRecv(n int) {
+	c.framesRecv.Add(1)
+	c.bytesRecv.Add(int64(n))
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		FramesSent: c.framesSent.Load(),
+		BytesSent:  c.bytesSent.Load(),
+		FramesRecv: c.framesRecv.Load(),
+		BytesRecv:  c.bytesRecv.Load(),
+		SendErrs:   c.sendErrs.Load(),
+	}
+}
+
+// Endpoint is one rank's attachment to a transport backend.
+//
+// Send is safe for concurrent use and asynchronous: it returns once the
+// backend has accepted the frame (Loopback: delivered; Socket: written to
+// the kernel). Ownership of f.Data passes to the transport. A Send after
+// Close (or to a vanished peer) returns an error; the frame is dropped.
+//
+// Bind installs the delivery upcall and must happen before traffic is
+// expected; frames arriving with no handler bound wait (Socket) or are
+// dropped (Loopback).
+//
+// Close is idempotent. It tears down every connection, listener and
+// goroutine the endpoint owns and blocks until they are gone — no leaked
+// fds, no leaked goroutines.
+type Endpoint interface {
+	Rank() int
+	Size() int
+	Send(f Frame) error
+	Bind(h Handler)
+	Close() error
+	Stats() Stats
+}
+
+// Mesh is a set of same-process endpoints, one per rank: the form every
+// in-process backend (Loopback, the socket test meshes) takes. Close
+// closes every endpoint and any shared rendezvous state.
+type Mesh interface {
+	Endpoint(rank int) Endpoint
+	Size() int
+	Close() error
+}
+
+// WrapMesh derives a mesh whose endpoints are wrap(original endpoint) —
+// how tests compose Lossy and Reliable over a base backend. The wrapper
+// is applied once per rank, lazily at first Endpoint call, so per-rank
+// wrapper state (sequence numbers, reorder buffers) is created exactly
+// once. Close closes the wrapped endpoints (which close the originals).
+func WrapMesh(m Mesh, wrap func(Endpoint) Endpoint) Mesh {
+	return &wrappedMesh{inner: m, wrap: wrap, eps: make([]Endpoint, m.Size())}
+}
+
+type wrappedMesh struct {
+	inner Mesh
+	wrap  func(Endpoint) Endpoint
+	eps   []Endpoint
+}
+
+func (w *wrappedMesh) Endpoint(rank int) Endpoint {
+	if w.eps[rank] == nil {
+		w.eps[rank] = w.wrap(w.inner.Endpoint(rank))
+	}
+	return w.eps[rank]
+}
+
+func (w *wrappedMesh) Size() int { return w.inner.Size() }
+
+func (w *wrappedMesh) Close() error {
+	var first error
+	for i, ep := range w.eps {
+		if ep == nil {
+			// Never handed out: close the underlying endpoint directly.
+			ep = w.inner.Endpoint(i)
+		}
+		if err := ep.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if err := w.inner.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// FlowID packs the repo-wide causal flow stamp carried by every protocol
+// message: (src rank + 1) << 32 | seq, never 0 (see obs.Event.Flow). The
+// simulated engine and the real transport stamp identically so traces
+// from either world correlate.
+func FlowID(src int, seq uint64) int64 {
+	return int64(src+1)<<32 | int64(seq&0xFFFFFFFF)
+}

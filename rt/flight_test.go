@@ -260,6 +260,12 @@ func TestServeTelemetryLive(t *testing.T) {
 		`rt_cmdq_depth{rank="0",agent="0"}`,
 		`rt_sends_total{rank="0"}`,
 		`rt_inflight{rank="1"}`,
+		`rt_polls_total{rank="0"}`,
+		`rt_polls_per_completion{rank="0"}`,
+		`rt_net_sent_bytes_total{rank="0"}`,
+		`rt_net_recv_bytes_total{rank="1"}`,
+		`rt_net_sent_frames_total{rank="0"}`,
+		`rt_net_send_errors_total{rank="0"}`,
 		"rt_agents_per_rank 2",
 	} {
 		if !strings.Contains(string(body), want) {
@@ -276,6 +282,11 @@ func TestServeTelemetryLive(t *testing.T) {
 	resp.Body.Close()
 	if !strings.Contains(string(body), "rt_sends_total{rank=\"0\"} 200") {
 		t.Errorf("post-burst scrape missing rt_sends_total=200:\n%s", grepLines(string(body), "rt_sends_total"))
+	}
+	// The transport byte counters moved: 200 sends of 8 B payload means at
+	// least 1600 payload-carrying wire bytes left rank 0.
+	if strings.Contains(string(body), "rt_net_sent_frames_total{rank=\"0\"} 0") {
+		t.Errorf("wire counters never advanced:\n%s", grepLines(string(body), "rt_net_"))
 	}
 	// Duty timing actually charged wall time somewhere.
 	st := c.Rank(0).engines[0].busyNs.Load() + c.Rank(0).engines[0].idleNs.Load()

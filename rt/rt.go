@@ -21,9 +21,15 @@
 // drains all shards round-robin in batches of up to the cluster's
 // CmdBatchMax before each progress round.
 //
-// The transport is an in-process "NIC": each rank's inbox is a lock-free
-// MPMC queue that senders enqueue into directly. Payloads are copied on
-// send and on receive (the eager protocol's two copies).
+// The wire is pluggable (internal/transport): the default Loopback
+// backend is the historical in-process "NIC" — each rank's inbox is a
+// lock-free MPMC queue that senders enqueue into directly, payloads
+// copied on send and on receive (the eager protocol's two copies) — while
+// Options.Transport substitutes real TCP or Unix-domain sockets, and
+// NewWorkerCluster runs each rank as its own OS process (launched by
+// cmd/mpirun, rendezvousing through a shared directory). The command
+// queue, request pool and offload loop are identical over every backend;
+// only doSend and the delivery upcall touch the wire.
 //
 // Matching is exact (communicator, tag, source) — the wildcard-free common
 // case — and non-overtaking per (source, tag) because the inbox preserves
@@ -53,6 +59,7 @@ import (
 	"mpioffload/internal/obs"
 	"mpioffload/internal/queue"
 	"mpioffload/internal/reqpool"
+	"mpioffload/internal/transport"
 )
 
 // ErrTimeout is returned by WaitErr when a request misses the cluster's
@@ -122,6 +129,12 @@ type rtEngine struct {
 	unexpected map[matchKey][]message
 	cq         *queue.Sharded[cmd]
 
+	// Doorbell for the parked agent: submitters and the delivery upcall
+	// ring it (when napping says anyone is listening) so an idle agent
+	// wakes in microseconds instead of a timer tick.
+	bell    chan struct{}
+	napping atomic.Bool
+
 	// Live-telemetry duty accounting, charged by the offload loop only
 	// while the cluster has a telemetry registry attached.
 	busyNs, idleNs atomic.Int64
@@ -137,6 +150,18 @@ type Rank struct {
 	count []int32 // per-slot received byte counts (truncSentinel = error)
 	peer  []int32 // per-slot peer rank, so WaitErr can blame a dead peer
 
+	// ep is the rank's attachment to the wire; flowSeq stamps outgoing
+	// frames with the repo-wide causal flow id ((id+1)<<32 | seq).
+	ep      transport.Endpoint
+	flowSeq atomic.Uint64
+
+	// Doorbell for parked waiters: every completion rings it while anyone
+	// is napping in Wait/WaitErr. Wake-one is deliberate — a waiter woken
+	// by someone else's completion just re-checks and re-parks, and the
+	// napFallback timeout bounds the rare lost-wakeup race.
+	doneBell chan struct{}
+	waiters  atomic.Int32
+
 	failed atomic.Bool // set by Cluster.KillRank; the rank's NIC goes dark
 
 	// Matching state, partitioned per agent: owned by each partition's
@@ -147,8 +172,12 @@ type Rank struct {
 
 	stop atomic.Bool
 
-	// Stats counts operations for tests and diagnostics.
-	Sends, Recvs, Progress atomic.Int64
+	// Stats counts operations for tests and diagnostics. Polls counts
+	// engine progress polls (offload-loop wakeups, Direct-mode drains):
+	// Polls / (Sends + Recvs) is the wall-clock PollsPerCompletion, the
+	// polling-overhead figure the simulator tracks as a first-class
+	// metric.
+	Sends, Recvs, Progress, Polls atomic.Int64
 	// WatchdogTrips counts WaitErr deadline expirations on this rank.
 	WatchdogTrips atomic.Int64
 	// wdArmed counts WaitErr calls currently spinning under a deadline
@@ -205,11 +234,24 @@ type Options struct {
 	// post-mortem is written to on the first watchdog trip (equivalent to
 	// calling SetFlightDump). Empty disables the automatic dump.
 	FlightDump string
+	// Transport selects the wire backend for an in-process cluster: nil
+	// runs the default Loopback (direct in-process delivery, the
+	// historical behavior); a socket mesh (transport.NewSocketMesh) moves
+	// every payload through real TCP or Unix-domain sockets, optionally
+	// wrapped in Lossy/Reliable chaos layers (transport.WrapMesh). The
+	// cluster takes ownership: Close closes the mesh. Its Size must match
+	// the rank count. Multi-process runs use NewWorkerCluster instead.
+	Transport transport.Mesh
 }
 
-// Cluster is a set of in-process real-time ranks.
+// Cluster is a set of real-time ranks. With NewCluster/NewClusterOpts all
+// ranks live in this process; with NewWorkerCluster the cluster holds one
+// local rank of a multi-process job and `ranks` has a single entry.
 type Cluster struct {
 	ranks    []*Rank
+	size     int            // job size (== len(ranks) except in worker mode)
+	mesh     transport.Mesh // in-process backend; nil in worker mode
+	peerDown []atomic.Bool  // ranks considered dead (KillRank, send failures)
 	mode     Mode
 	batchMax int
 	wdNs     atomic.Int64 // WaitErr deadline (wall-clock ns); 0 = no deadline
@@ -300,70 +342,113 @@ func NewCluster(n int, mode Mode) *Cluster { return NewClusterOpts(n, mode, Opti
 
 // NewClusterOpts is NewCluster with explicit submission-path tuning.
 func NewClusterOpts(n int, mode Mode, o Options) *Cluster {
-	shards := o.ShardCount
-	if shards <= 0 {
-		shards = 16
+	mesh := o.Transport
+	if mesh == nil {
+		mesh = transport.NewLoopback(n)
 	}
+	if mesh.Size() != n {
+		panic(fmt.Sprintf("rt: transport mesh size %d != rank count %d", mesh.Size(), n))
+	}
+	c := newCluster(n, mode, o)
+	c.mesh = mesh
+	for i := 0; i < n; i++ {
+		c.addRank(i, mesh.Endpoint(i), o)
+	}
+	c.start()
+	return c
+}
+
+// NewWorkerCluster builds this process's single rank of a multi-process
+// job: ep is the rank's socket endpoint (transport.Listen, typically from
+// transport.EnvConfig under a cmd/mpirun launch). Size() reports the full
+// job size; Rank(i) is only valid for the local rank (see Local). Every
+// worker must use identical Options — the engine-partition hash must
+// agree on both ends of each message. Close closes the endpoint.
+func NewWorkerCluster(ep transport.Endpoint, mode Mode, o Options) *Cluster {
+	c := newCluster(ep.Size(), mode, o)
+	c.addRank(ep.Rank(), ep, o)
+	c.start()
+	return c
+}
+
+// newCluster builds the rankless shell.
+func newCluster(size int, mode Mode, o Options) *Cluster {
 	batch := o.CmdBatchMax
 	if batch <= 0 {
 		batch = 16
 	}
+	c := &Cluster{size: size, mode: mode, batchMax: batch, peerDown: make([]atomic.Bool, size)}
+	c.flightOn.Store(true)
+	if o.FlightDump != "" {
+		c.SetFlightDump(o.FlightDump)
+	}
+	return c
+}
+
+// addRank builds one local rank attached to ep and binds the delivery
+// upcall.
+func (c *Cluster) addRank(id int, ep transport.Endpoint, o Options) {
+	shards := o.ShardCount
+	if shards <= 0 {
+		shards = 16
+	}
 	agents := o.Agents
-	if agents <= 0 || mode != Offload {
+	if agents <= 0 || c.mode != Offload {
 		agents = 1
 	}
 	flightCap := o.FlightRingCap
 	if flightCap <= 0 {
 		flightCap = 1 << 12
 	}
-	c := &Cluster{mode: mode, batchMax: batch}
-	c.flightOn.Store(true)
-	if o.FlightDump != "" {
-		c.SetFlightDump(o.FlightDump)
+	r := &Rank{
+		id:       id,
+		cluster:  c,
+		mode:     c.mode,
+		pool:     reqpool.New(1 << 12),
+		count:    make([]int32, 1<<12),
+		peer:     make([]int32, 1<<12),
+		mu:       make(chan struct{}, 1),
+		ep:       ep,
+		doneBell: make(chan struct{}, 1),
+		flightR:  newFlightRing(flightCap),
+		opGen:    make([]atomic.Int64, 1<<12),
 	}
-	for i := 0; i < n; i++ {
-		r := &Rank{
-			id:      i,
-			cluster: c,
-			mode:    mode,
-			pool:    reqpool.New(1 << 12),
-			count:   make([]int32, 1<<12),
-			peer:    make([]int32, 1<<12),
-			mu:      make(chan struct{}, 1),
-			flightR: newFlightRing(flightCap),
-			opGen:   make([]atomic.Int64, 1<<12),
-		}
-		for a := 0; a < agents; a++ {
-			r.engines = append(r.engines, &rtEngine{
-				idx:        a,
-				inbox:      queue.NewMPMC[message](1 << 12),
-				posted:     make(map[matchKey][]pending),
-				unexpected: make(map[matchKey][]message),
-				cq:         queue.NewSharded[cmd](shards, 1<<8, 1<<12),
-			})
-		}
-		c.ranks = append(c.ranks, r)
+	for a := 0; a < agents; a++ {
+		r.engines = append(r.engines, &rtEngine{
+			idx:        a,
+			inbox:      queue.NewMPMC[message](1 << 12),
+			posted:     make(map[matchKey][]pending),
+			unexpected: make(map[matchKey][]message),
+			cq:         queue.NewSharded[cmd](shards, 1<<8, 1<<12),
+			bell:       make(chan struct{}, 1),
+		})
 	}
-	if mode == Offload {
-		for _, r := range c.ranks {
-			for _, e := range r.engines {
-				c.wg.Add(1)
-				// Label each offload goroutine with its rank and agent so
-				// real CPU profiles (go tool pprof -tagfocus/-taghide)
-				// attribute samples to agents instead of one anonymous
-				// goroutine blur.
-				go func(r *Rank, e *rtEngine) {
-					labels := pprof.Labels(
-						"rt_rank", strconv.Itoa(r.id),
-						"rt_agent", strconv.Itoa(e.idx))
-					pprof.Do(context.Background(), labels, func(context.Context) {
-						r.offloadLoop(e)
-					})
-				}(r, e)
-			}
+	ep.Bind(r.deliver)
+	c.ranks = append(c.ranks, r)
+}
+
+// start spawns the offload agents.
+func (c *Cluster) start() {
+	if c.mode != Offload {
+		return
+	}
+	for _, r := range c.ranks {
+		for _, e := range r.engines {
+			c.wg.Add(1)
+			// Label each offload goroutine with its rank and agent so
+			// real CPU profiles (go tool pprof -tagfocus/-taghide)
+			// attribute samples to agents instead of one anonymous
+			// goroutine blur.
+			go func(r *Rank, e *rtEngine) {
+				labels := pprof.Labels(
+					"rt_rank", strconv.Itoa(r.id),
+					"rt_agent", strconv.Itoa(e.idx))
+				pprof.Do(context.Background(), labels, func(context.Context) {
+					r.offloadLoop(e)
+				})
+			}(r, e)
 		}
 	}
-	return c
 }
 
 // AgentsPerRank reports the offload-goroutine (engine-partition) count.
@@ -383,39 +468,75 @@ func (r *Rank) engIdx(peer, tag int) int {
 	return int(h % uint32(len(r.engines)))
 }
 
-// Rank returns rank i's handle.
-func (c *Cluster) Rank(i int) *Rank { return c.ranks[i] }
+// Rank returns rank i's handle: nil when i is not hosted by this process
+// (worker mode holds only its own rank).
+func (c *Cluster) Rank(i int) *Rank {
+	if len(c.ranks) == c.size {
+		return c.ranks[i]
+	}
+	for _, r := range c.ranks {
+		if r.id == i {
+			return r
+		}
+	}
+	return nil
+}
 
-// KillRank simulates a process failure of rank i: its offload goroutine
-// stops, its NIC goes dark (sends addressed to it are discarded at the
-// wire), and operations blocked on it surface ErrRankFailed from WaitErr
+// Local returns the process-local rank — the only one in worker mode, rank
+// 0 in an in-process cluster.
+func (c *Cluster) Local() *Rank { return c.ranks[0] }
+
+// KillRank simulates a process failure of rank i: the cluster marks it
+// down (sends addressed to it complete locally and are discarded at the
+// wire), its local offload goroutines — if it lives in this process —
+// stop, and operations blocked on it surface ErrRankFailed from WaitErr
 // once the watchdog deadline passes. Idempotent; safe to call concurrently
 // with traffic. The dead rank's own outstanding handles are abandoned —
 // a killed process has no one left to wait on them.
 func (c *Cluster) KillRank(i int) {
-	r := c.ranks[i]
-	if !r.failed.CompareAndSwap(false, true) {
+	c.peerDown[i].Store(true)
+	r := c.Rank(i)
+	if r == nil || !r.failed.CompareAndSwap(false, true) {
 		return
 	}
 	r.flight(fkKillRank, -1, i, 0, 0)
 	r.stop.Store(true)
+	for _, e := range r.engines {
+		ring(e.bell) // wake napping agents so they observe the stop
+	}
 }
 
-// Failed reports whether rank i has been killed.
-func (c *Cluster) Failed(i int) bool { return c.ranks[i].failed.Load() }
+// Failed reports whether rank i is considered dead: killed by KillRank, or
+// unreachable at the transport (a send to it returned a hard error).
+func (c *Cluster) Failed(i int) bool { return c.peerDown[i].Load() }
 
-// Size returns the number of ranks.
-func (c *Cluster) Size() int { return len(c.ranks) }
+// Size returns the number of ranks in the job (all of them, including the
+// remote ones in worker mode).
+func (c *Cluster) Size() int { return c.size }
 
 // Close stops the offload goroutines and blocks until every one has
 // exited, so tests can re-create clusters without leaking or racing the
-// previous cluster's loops. Idempotent: extra Closes return immediately.
+// previous cluster's loops. The transport closes before the join: a socket
+// backend's blocked reads and writes unwind when their fds close, so an
+// offload goroutine stuck mid-Send (in-flight wire op) cannot deadlock the
+// join or leak — the close-ordering contract the leak tests pin down.
+// Idempotent: extra Closes return immediately.
 func (c *Cluster) Close() {
 	if !c.closed.CompareAndSwap(false, true) {
 		return
 	}
 	for _, r := range c.ranks {
 		r.stop.Store(true)
+		for _, e := range r.engines {
+			ring(e.bell)
+		}
+	}
+	if c.mesh != nil {
+		c.mesh.Close()
+	} else {
+		for _, r := range c.ranks {
+			r.ep.Close()
+		}
 	}
 	c.wg.Wait()
 }
@@ -476,9 +597,98 @@ func (th *Thread) WaitErr(h Handle) (int, error) { return th.r.WaitErr(h) }
 // Test forwards to the rank's Test.
 func (th *Thread) Test(h Handle) (bool, int) { return th.r.Test(h) }
 
+// spin is an adaptive wait for the rt layer's progress loops: hot Gosched
+// yields for the first spinHot rounds, then parks. Parking is what keeps
+// a socket backend fast on saturated GOMAXPROCS: pure Gosched spinners
+// keep every P permanently runnable, the Go scheduler then never blocks
+// on netpoll, and socket readiness is only noticed on sysmon's 10 ms
+// retake tick — a 20 ms ping-pong on a 1-CPU host. An idle P lets the
+// scheduler block on netpoll and wire wakeups return to microseconds.
+//
+// Parking comes in two flavors. Loops with a producer that can signal
+// them block on a doorbell channel (see ring/bell below) with napFallback
+// as the lost-wakeup safety net; loops whose wakeup condition nobody
+// signals (pool-slot recycling, a full queue draining) sleep napFallback
+// outright via pause. Timer sleeps on a loaded host resolve at
+// millisecond granularity no matter how short the request, so every
+// latency-critical wakeup must ride a doorbell or an fd, never a timer.
+type spin struct{ n int }
+
+const (
+	spinHot     = 64
+	napFallback = time.Millisecond
+)
+
+// yield burns one hot round; false means the budget is spent and the
+// caller should park.
+func (s *spin) yield() bool {
+	if s.n < spinHot {
+		s.n++
+		runtime.Gosched()
+		return true
+	}
+	return false
+}
+
+func (s *spin) pause() {
+	if !s.yield() {
+		time.Sleep(napFallback)
+	}
+}
+
+func (s *spin) reset() { s.n = 0 }
+
+// ring taps a doorbell: a non-blocking send on a 1-buffered channel, so
+// producers never block and redundant taps coalesce.
+func ring(bell chan struct{}) {
+	select {
+	case bell <- struct{}{}:
+	default:
+	}
+}
+
 // lock/unlock implement the Direct-mode global lock.
 func (r *Rank) lock()   { r.mu <- struct{}{} }
 func (r *Rank) unlock() { <-r.mu }
+
+// directPoll drives one waiter-side progress round under the global lock
+// (Direct mode), counted as an engine poll.
+func (r *Rank) directPoll() {
+	r.Polls.Add(1)
+	r.lock()
+	r.drain(r.engines[0])
+	r.unlock()
+}
+
+// parkWait parks a waiter on the completion doorbell once its hot-yield
+// budget is spent; napFallback bounds the lost-wakeup race and the
+// wake-one misdirection (a waiter woken by someone else's completion just
+// re-checks and re-parks).
+func (r *Rank) parkWait(slot int) {
+	r.waiters.Add(1)
+	if !r.pool.Done(slot) {
+		select {
+		case <-r.doneBell:
+		case <-time.After(napFallback):
+		}
+	}
+	r.waiters.Add(-1)
+}
+
+// napAgent parks an idle agent on its doorbell after the hot-yield budget
+// is spent. The queues are re-checked after raising the napping flag —
+// the Dekker handshake with the submitters' flag-then-ring — so a command
+// posted during the race is never slept through.
+func (r *Rank) napAgent(e *rtEngine) {
+	e.napping.Store(true)
+	if e.cq.Len() == 0 && e.inbox.Empty() && !r.stop.Load() {
+		select {
+		case <-e.bell:
+		case <-time.After(napFallback):
+		}
+	}
+	e.napping.Store(false)
+}
 
 // Isend starts a nonblocking send of buf to dst with tag. The payload is
 // copied (eager), so buf is immediately reusable; the returned handle
@@ -503,8 +713,13 @@ func (r *Rank) isend(eng, shard int, buf []byte, dst, tag int) Handle {
 		if r.cluster.statsOn.Load() {
 			c.enqNs = time.Now().UnixNano()
 		}
-		for !r.engines[eng].cq.TryEnqueue(shard, c) {
-			runtime.Gosched()
+		e := r.engines[eng]
+		var sp spin
+		for !e.cq.TryEnqueue(shard, c) {
+			sp.pause()
+		}
+		if e.napping.Load() {
+			ring(e.bell)
 		}
 		return Handle(slot)
 	}
@@ -532,8 +747,13 @@ func (r *Rank) irecv(eng, shard int, buf []byte, src, tag int) Handle {
 		if r.cluster.statsOn.Load() {
 			c.enqNs = time.Now().UnixNano()
 		}
-		for !r.engines[eng].cq.TryEnqueue(shard, c) {
-			runtime.Gosched()
+		e := r.engines[eng]
+		var sp spin
+		for !e.cq.TryEnqueue(shard, c) {
+			sp.pause()
+		}
+		if e.napping.Load() {
+			ring(e.bell)
 		}
 		return Handle(slot)
 	}
@@ -554,15 +774,19 @@ func (r *Rank) Recv(buf []byte, src, tag int) int { return r.Wait(r.Irecv(buf, s
 // failed receive (truncation — see WaitErr, which decodes it to an error).
 func (r *Rank) Wait(h Handle) int {
 	slot := int(h)
+	var sp spin
 	for !r.pool.Done(slot) {
 		if r.mode == Direct {
 			// The waiter must drive progress itself (and contends with
 			// every other thread of this rank for the lock).
-			r.lock()
-			r.drain(r.engines[0])
-			r.unlock()
+			r.directPoll()
+			if r.pool.Done(slot) {
+				break
+			}
 		}
-		runtime.Gosched()
+		if !sp.yield() {
+			r.parkWait(slot)
+		}
 	}
 	n := int(atomic.LoadInt32(&r.count[slot]))
 	r.pool.Put(slot)
@@ -586,11 +810,13 @@ func (r *Rank) WaitErr(h Handle) (int, error) {
 	deadline := time.Now().Add(d)
 	r.wdArmed.Add(1)
 	defer r.wdArmed.Add(-1)
+	var sp spin
 	for !r.pool.Done(slot) {
 		if r.mode == Direct {
-			r.lock()
-			r.drain(r.engines[0])
-			r.unlock()
+			r.directPoll()
+			if r.pool.Done(slot) {
+				break
+			}
 		}
 		if time.Now().After(deadline) {
 			r.WatchdogTrips.Add(1)
@@ -605,7 +831,9 @@ func (r *Rank) WaitErr(h Handle) (int, error) {
 			r.cluster.autoFlightDump("timeout")
 			return 0, fmt.Errorf("%w (rank %d slot %d after %v)", ErrTimeout, r.id, slot, d)
 		}
-		runtime.Gosched()
+		if !sp.yield() {
+			r.parkWait(slot)
+		}
 	}
 	n := int(atomic.LoadInt32(&r.count[slot]))
 	r.pool.Put(slot)
@@ -626,9 +854,7 @@ func decodeCount(n int) (int, error) {
 func (r *Rank) Test(h Handle) (bool, int) {
 	slot := int(h)
 	if r.mode == Direct {
-		r.lock()
-		r.drain(r.engines[0])
-		r.unlock()
+		r.directPoll()
 	}
 	if !r.pool.Done(slot) {
 		return false, 0
@@ -652,32 +878,67 @@ func (r *Rank) getSlot() int {
 	}
 }
 
-// doSend runs in engine context (offload goroutine, or under the lock).
-// A send to a killed rank completes locally — the eager payload was
-// accepted by the transport — but the wire discards it at the dead NIC
-// (spinning on a dead rank's inbox would wedge the sender's engine once
-// nothing drains it).
+// doSend runs in engine context (offload goroutine, or under the lock)
+// and hands the payload to the wire as a flow-stamped frame. A send to a
+// dead rank completes locally — the eager payload was accepted by the
+// transport — but goes nowhere (sending into a dead rank's NIC would
+// wedge the sender's engine once nothing drains it); a transport hard
+// error marks the peer down the same way, so later operations fail fast
+// instead of re-timing-out one by one.
 func (r *Rank) doSend(slot, dst, tag int, data []byte) {
-	target := r.cluster.ranks[dst]
-	if target.failed.Load() {
-		r.pool.SetDone(slot)
-		if r.cluster.flightOn.Load() {
-			r.flight(fkComplete, r.engIdx(dst, tag), dst, tag, r.opID(slot))
+	if !r.cluster.peerDown[dst].Load() {
+		seq := r.flowSeq.Add(1)
+		f := transport.Frame{
+			Kind: transport.KindData,
+			Src:  r.id,
+			Dst:  dst,
+			Tag:  tag,
+			Flow: transport.FlowID(r.id, seq),
+			Data: data,
 		}
-		return
-	}
-	// Deliver into the target partition that owns (src=r.id, tag) — the
-	// same partition the receiver posts its matching receives to.
-	inbox := target.engines[target.engIdx(r.id, tag)].inbox
-	for !inbox.TryEnqueue(message{src: r.id, tag: tag, data: data}) {
-		if target.failed.Load() {
-			break
+		if err := r.ep.Send(f); err != nil {
+			r.cluster.peerDown[dst].Store(true)
 		}
-		runtime.Gosched()
 	}
 	r.pool.SetDone(slot)
+	r.wakeWaiters()
 	if r.cluster.flightOn.Load() {
 		r.flight(fkComplete, r.engIdx(dst, tag), dst, tag, r.opID(slot))
+	}
+}
+
+// wakeWaiters rings the completion doorbell when any Wait is parked.
+func (r *Rank) wakeWaiters() {
+	if r.waiters.Load() > 0 {
+		ring(r.doneBell)
+	}
+}
+
+// deliver is the transport upcall: it runs on the wire's delivery
+// goroutine — the sender's own, for Loopback; a socket-reader, for real
+// backends — and enqueues the frame into the engine partition that owns
+// (src, tag), the partition the receiver posts its matching receives to.
+// A full inbox applies backpressure by spinning, bounded by rank death
+// and cluster shutdown so a blocked delivery can never outlive Close.
+func (r *Rank) deliver(f transport.Frame) {
+	if f.Kind != transport.KindData || r.failed.Load() {
+		return
+	}
+	e := r.engines[r.engIdx(f.Src, f.Tag)]
+	var sp spin
+	for !e.inbox.TryEnqueue(message{src: f.Src, tag: f.Tag, data: f.Data}) {
+		if r.failed.Load() || r.stop.Load() {
+			return
+		}
+		sp.pause()
+	}
+	if e.napping.Load() {
+		ring(e.bell)
+	}
+	if r.mode == Direct && r.waiters.Load() > 0 {
+		// Direct mode has no agent: a parked waiter is the only one who
+		// will drain this delivery.
+		ring(r.doneBell)
 	}
 }
 
@@ -706,6 +967,7 @@ func (r *Rank) landMessage(slot int, buf []byte, m message) {
 	if len(m.data) > len(buf) {
 		atomic.StoreInt32(&r.count[slot], truncSentinel)
 		r.pool.SetDone(slot)
+		r.wakeWaiters()
 		if r.cluster.flightOn.Load() {
 			r.flight(fkComplete, r.engIdx(m.src, m.tag), m.src, m.tag, r.opID(slot))
 		}
@@ -714,6 +976,7 @@ func (r *Rank) landMessage(slot int, buf []byte, m message) {
 	copy(buf, m.data)
 	atomic.StoreInt32(&r.count[slot], int32(len(m.data)))
 	r.pool.SetDone(slot)
+	r.wakeWaiters()
 	if r.cluster.flightOn.Load() {
 		r.flight(fkComplete, r.engIdx(m.src, m.tag), m.src, m.tag, r.opID(slot))
 	}
@@ -752,7 +1015,9 @@ func (r *Rank) offloadLoop(e *rtEngine) {
 	r.flight(fkAgentStart, e.idx, 0, 0, 0)
 	defer r.flight(fkAgentStop, e.idx, 0, 0, 0)
 	batch := make([]cmd, r.cluster.batchMax)
+	var idle spin
 	for !r.stop.Load() {
+		r.Polls.Add(1)
 		// Duty-cycle accounting for the live telemetry endpoint: each
 		// wakeup's wall time is charged busy or idle by whether it found
 		// work. Gated so the default loop never calls time.Now.
@@ -800,8 +1065,10 @@ func (r *Rank) offloadLoop(e *rtEngine) {
 				e.idleNs.Add(dt)
 			}
 		}
-		if !worked {
-			runtime.Gosched()
+		if worked {
+			idle.reset()
+		} else if !idle.yield() {
+			r.napAgent(e)
 		}
 	}
 }

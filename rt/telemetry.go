@@ -22,8 +22,12 @@ import (
 // on duty-cycle timing in the offload loops. Metric names follow the
 // rt_* family: rt_agent_duty{rank,agent}, rt_cmdq_depth{rank,agent},
 // rt_sends_total{rank}, rt_recvs_total{rank}, rt_progress_total{rank},
-// rt_inflight{rank}, rt_watchdog_armed{rank}, rt_watchdog_trips_total{rank},
-// rt_posts_per_sec{rank}, rt_qwait_ns{rank}, rt_service_ns{rank}.
+// rt_polls_total{rank}, rt_polls_per_completion{rank}, rt_inflight{rank},
+// rt_watchdog_armed{rank}, rt_watchdog_trips_total{rank},
+// rt_posts_per_sec{rank}, rt_qwait_ns{rank}, rt_service_ns{rank}, and the
+// wire's rt_net_sent_bytes_total{rank} / rt_net_recv_bytes_total{rank} /
+// rt_net_sent_frames_total{rank} / rt_net_recv_frames_total{rank} /
+// rt_net_send_errors_total{rank} from the rank's transport endpoint.
 func (c *Cluster) AttachTelemetry(reg *telemetry.Registry) {
 	c.telemStartNs.Store(time.Now().UnixNano())
 	c.telemOn.Store(true)
@@ -41,6 +45,26 @@ func (c *Cluster) AttachTelemetry(reg *telemetry.Registry) {
 			func() float64 { return float64(r.Recvs.Load()) })
 		reg.CounterFunc("rt_progress_total"+rl, "messages drained from the inbox",
 			func() float64 { return float64(r.Progress.Load()) })
+		reg.CounterFunc("rt_polls_total"+rl, "engine progress polls",
+			func() float64 { return float64(r.Polls.Load()) })
+		reg.GaugeFunc("rt_polls_per_completion"+rl, "polls per completed operation (polling overhead)",
+			func() float64 {
+				done := r.Sends.Load() + r.Recvs.Load()
+				if done == 0 {
+					return 0
+				}
+				return float64(r.Polls.Load()) / float64(done)
+			})
+		reg.CounterFunc("rt_net_sent_bytes_total"+rl, "payload bytes handed to the wire",
+			func() float64 { return float64(r.ep.Stats().BytesSent) })
+		reg.CounterFunc("rt_net_recv_bytes_total"+rl, "payload bytes delivered by the wire",
+			func() float64 { return float64(r.ep.Stats().BytesRecv) })
+		reg.CounterFunc("rt_net_sent_frames_total"+rl, "frames handed to the wire",
+			func() float64 { return float64(r.ep.Stats().FramesSent) })
+		reg.CounterFunc("rt_net_recv_frames_total"+rl, "frames delivered by the wire",
+			func() float64 { return float64(r.ep.Stats().FramesRecv) })
+		reg.CounterFunc("rt_net_send_errors_total"+rl, "wire sends that failed or were dropped at a dark NIC",
+			func() float64 { return float64(r.ep.Stats().SendErrs) })
 		reg.CounterFunc("rt_watchdog_trips_total"+rl, "WaitErr deadline expirations",
 			func() float64 { return float64(r.WatchdogTrips.Load()) })
 		reg.GaugeFunc("rt_inflight"+rl, "request-pool slots currently allocated",
